@@ -1,0 +1,31 @@
+//! Fig. 8 — generated-PE resources vs tuple size (Full vs Half).
+//!
+//! Prints the figure's data points and benches the full generation
+//! pipeline (parse → elaborate → compose → estimate) per tuple size.
+
+use bench::figures::{fig8, fig8_full_spec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    for row in fig8() {
+        println!(
+            "fig8[{} bit]: full {} / half {} OOC slices",
+            row.tuple_bits, row.full_slices, row.half_slices
+        );
+    }
+    let mut group = c.benchmark_group("fig8_generate_pipeline");
+    for bits in [64u32, 256, 1024] {
+        let spec = fig8_full_spec(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &spec, |b, spec| {
+            b.iter(|| {
+                let arts = ndp_core::generate(black_box(spec)).unwrap();
+                black_box(arts.pes[0].report.slices_out_of_context)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

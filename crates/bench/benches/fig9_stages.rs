@@ -1,0 +1,53 @@
+//! Fig. 9 — generated-PE resources vs number of filtering stages.
+//!
+//! Prints the figure's data points and benches the multi-stage PE's
+//! cycle-level simulator to confirm that extra stages add only marginal
+//! execution time (the paper's elastic-pipeline claim).
+
+use bench::figures::fig9;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndp_pe::regs::offsets;
+use ndp_pe::{MemBus, Mmio, PeDevice, PeSim, VecMem};
+use std::hint::black_box;
+
+fn stage_spec(stages: u32) -> String {
+    format!(
+        "/* @autogen define parser F with input = T, output = T, stages = {stages} */
+         typedef struct {{ uint32_t a, b, c, d, e, f, g, h; }} T;"
+    )
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    for row in fig9() {
+        println!(
+            "fig9[{} stage(s)]: full {:.3}% / half {:.3}% OOC",
+            row.stages, row.full_pct, row.half_pct
+        );
+    }
+
+    // Cycle-level block processing time vs stage count (paper: "additional
+    // filtering stages will only add very small increases").
+    let mut group = c.benchmark_group("fig9_block_cycles_vs_stages");
+    group.sample_size(20);
+    for stages in [1u32, 3, 5] {
+        let arts = ndp_core::generate(&stage_spec(stages)).unwrap();
+        let mut pe = PeSim::new(arts.pes[0].config.clone());
+        let mut mem = VecMem::new(1 << 20);
+        let data: Vec<u8> = (0..32 * 1024u32).map(|i| i as u8).collect();
+        mem.write_bytes(0, &data);
+        pe.mmio_write(offsets::SRC_LEN, 32 * 1024);
+        pe.mmio_write(offsets::DST_ADDR_LO, 0x80000);
+        pe.mmio_write(offsets::DST_CAPACITY, 1 << 18);
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| {
+                pe.mmio_write(offsets::START, 1);
+                let res = pe.execute(&mut mem);
+                black_box(res.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

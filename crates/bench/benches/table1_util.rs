@@ -1,0 +1,25 @@
+//! Table I — resource-utilization model over the full system composition.
+//!
+//! Prints the table's values and benches the elaborate→estimate pipeline
+//! (the cost a user pays per design-space point when exploring formats).
+
+use bench::figures::table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let t = table1();
+    println!(
+        "table1: overall [1] {} ({:.2}%) vs ours {} ({:.2}%)",
+        t.base.overall_slices, t.base.overall_pct, t.ours.overall_slices, t.ours.overall_pct
+    );
+    for (name, base, ours) in &t.pe_rows {
+        println!("table1: {name}: [1] {base} vs ours {ours} slices");
+    }
+    c.bench_function("table1_system_report", |b| {
+        b.iter(|| black_box(table1()));
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Sec. V).
+//!
+//! Each experiment has a pure function here (consumed by the `repro`
+//! binary, the Criterion benches and the integration tests):
+//!
+//! * [`figures::fig7a`] — GET runtimes, SW/HW × \[1\]/ours;
+//! * [`figures::fig7b`] — SCAN runtimes, SW/HW × \[1\]/ours;
+//! * [`figures::table1`] — full-design slice utilization;
+//! * [`figures::fig8`] — out-of-context slices vs tuple size (Full/Half);
+//! * [`figures::fig9`] — out-of-context slice % vs filtering stages;
+//! * [`figures::ablations`] — design-choice ablations called out in
+//!   DESIGN.md (PE count sweep, flexible vs fixed store units).
+//!
+//! Simulated times come from the calibrated `cosmos-sim` platform; see
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+pub mod dataset;
+pub mod figures;
+
+pub use dataset::{build_db, DbKind, Dataset};

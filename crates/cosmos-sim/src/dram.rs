@@ -1,0 +1,129 @@
+//! The PS-DRAM: shared storage and bandwidth model.
+//!
+//! The PEs are not directly coupled to flash; data is staged in DRAM and
+//! results are collected in DRAM before the host transfer (paper,
+//! Sec. IV). The single shared AXI port means memory contention is a
+//! real effect — the paper's flexible Store Units exist precisely to
+//! reduce that contention — so the model tracks port occupancy per
+//! client class.
+
+use crate::server::BandwidthLink;
+use crate::SimNs;
+
+/// Who is using the DRAM port (for contention accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramClient {
+    /// Flash-controller DMA staging a block.
+    FlashDma,
+    /// A PE's Load Unit.
+    PeLoad,
+    /// A PE's Store Unit.
+    PeStore,
+    /// The ARM core (software NDP).
+    Cpu,
+    /// NVMe host transfers.
+    Host,
+}
+
+/// The PS-DRAM model: byte storage plus a shared-port timing model.
+pub struct Dram {
+    bytes: Vec<u8>,
+    port: BandwidthLink,
+    traffic: [u64; 5],
+}
+
+/// Zynq-7000 PS DDR3 effective bandwidth available to the PL masters
+/// (shared HP ports; conservative figure).
+pub const DRAM_PORT_BW: f64 = 1.0e9;
+
+impl Dram {
+    /// A zeroed DRAM of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self { bytes: vec![0; size], port: BandwidthLink::new(DRAM_PORT_BW), traffic: [0; 5] }
+    }
+
+    /// DRAM size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Functional read without timing (used by firmware bookkeeping).
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    /// Functional write without timing.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Account a timed transfer of `bytes` by `client` starting at `now`;
+    /// returns the completion time on the shared port.
+    pub fn timed_transfer(&mut self, client: DramClient, bytes: u64, now: SimNs) -> SimNs {
+        self.traffic[client as usize] += bytes;
+        let (_, finish) = self.port.transfer(now, bytes);
+        finish
+    }
+
+    /// Total bytes moved by `client`.
+    pub fn traffic_of(&self, client: DramClient) -> u64 {
+        self.traffic[client as usize]
+    }
+
+    /// Total bytes moved over the port.
+    pub fn traffic_total(&self) -> u64 {
+        self.traffic.iter().sum()
+    }
+
+    /// Port utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimNs) -> f64 {
+        self.port.utilization(now)
+    }
+
+    /// Borrow the backing bytes (testing/diagnostics).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_read_write() {
+        let mut d = Dram::new(1024);
+        d.write(100, &[1, 2, 3]);
+        let mut buf = [0u8; 3];
+        d.read(100, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(d.len(), 1024);
+    }
+
+    #[test]
+    fn contention_serializes_on_the_port() {
+        let mut d = Dram::new(0);
+        let f1 = d.timed_transfer(DramClient::FlashDma, 32 * 1024, 0);
+        let f2 = d.timed_transfer(DramClient::PeLoad, 32 * 1024, 0);
+        assert!(f2 >= 2 * f1 - 1, "second transfer must queue behind the first");
+    }
+
+    #[test]
+    fn traffic_is_accounted_per_client() {
+        let mut d = Dram::new(0);
+        d.timed_transfer(DramClient::PeStore, 100, 0);
+        d.timed_transfer(DramClient::PeStore, 50, 0);
+        d.timed_transfer(DramClient::Cpu, 7, 0);
+        assert_eq!(d.traffic_of(DramClient::PeStore), 150);
+        assert_eq!(d.traffic_of(DramClient::Cpu), 7);
+        assert_eq!(d.traffic_total(), 157);
+        assert_eq!(d.traffic_of(DramClient::Host), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! A generic discrete-event calendar.
+//!
+//! Used by the NDP scan executor to interleave per-channel block
+//! completions deterministically: ties are broken by insertion order, so
+//! a simulation run is fully reproducible.
+
+use crate::SimNs;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(SimNs, u64)>>,
+    payloads: Vec<Option<T>>,
+    times: Vec<SimNs>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), payloads: Vec::new(), times: Vec::new(), seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimNs, payload: T) {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((time, id)));
+        self.payloads.push(Some(payload));
+        self.times.push(time);
+    }
+
+    /// Remove and return the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimNs, T)> {
+        let Reverse((time, id)) = self.heap.pop()?;
+        let payload = self.payloads[id as usize].take().expect("event fired twice");
+        Some((time, payload))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimNs> {
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(5, 'x');
+        assert_eq!(q.pop(), Some((5, 'x')));
+        q.push(3, 'y');
+        q.push(1, 'z');
+        assert_eq!(q.pop(), Some((1, 'z')));
+        q.push(2, 'w');
+        assert_eq!(q.pop(), Some((2, 'w')));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Discrete-event simulator of the Cosmos+ OpenSSD platform.
+//!
+//! The paper's system (Fig. 2) runs on the Cosmos+ OpenSSD: a Xilinx
+//! Zynq-7000 (XC7Z045) whose programmable logic implements an NVMe
+//! front-end (250 MHz), two Tiger4 flash controllers and the NDP PEs
+//! (100 MHz), next to the PS-side ARM Cortex-A9 cores and DRAM. None of
+//! that hardware is available here, so this crate provides a
+//! discrete-event model with the paper's stated bandwidths and clocks:
+//!
+//! * [`flash`] — NAND array behind two Tiger4-style controllers
+//!   (~200 MB/s aggregate, the paper's stated bottleneck), with channels,
+//!   LUNs, page latencies, per-channel buses and data storage;
+//! * [`dram`] — the shared PS-DRAM port PEs and CPU compete for;
+//! * [`timing`] — the calibrated constants (documented one by one) that
+//!   anchor Fig. 7's absolute runtimes;
+//! * [`server`]/[`events`] — the queueing/event primitives everything is
+//!   built from;
+//! * [`platform`] — the assembled device ([`CosmosPlatform`]).
+//!
+//! Simulated time is in **nanoseconds** ([`SimNs`]); both PL clock
+//! domains are exact in ns (10 ns at 100 MHz, 4 ns at 250 MHz).
+
+pub mod dram;
+pub mod events;
+pub mod flash;
+pub mod platform;
+pub mod server;
+pub mod timing;
+
+pub use dram::Dram;
+pub use events::EventQueue;
+pub use flash::{FlashArray, FlashConfig, FlashError, PhysAddr};
+pub use platform::{CosmosConfig, CosmosPlatform, FirmwareEra};
+pub use server::{BandwidthLink, Server};
+
+/// Simulated time in nanoseconds.
+pub type SimNs = u64;
+
+/// Convert 100 MHz PL cycles to nanoseconds.
+pub fn pl_cycles_to_ns(cycles: u64) -> SimNs {
+    cycles * 10
+}
+
+/// Convert seconds (f64) to [`SimNs`].
+pub fn secs_to_ns(s: f64) -> SimNs {
+    (s * 1e9).round() as SimNs
+}
+
+/// Convert [`SimNs`] to seconds.
+pub fn ns_to_secs(ns: SimNs) -> f64 {
+    ns as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_conversions() {
+        assert_eq!(pl_cycles_to_ns(100_000_000), 1_000_000_000);
+        assert_eq!(secs_to_ns(5.512), 5_512_000_000);
+        assert!((ns_to_secs(5_512_000_000) - 5.512).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,533 @@
+//! The control register file (architectural template component (a)).
+//!
+//! The register map is *generated* from the PE configuration — the number
+//! of filtering stages determines how many `FILTER_*` register groups
+//! exist — and is the contract shared between the hardware model
+//! ([`RegState`]) and the generated software interface (`ndp-swgen`
+//! renders the same [`RegisterMap`] into the header-only C library of
+//! the paper's Fig. 6).
+
+use ndp_ir::PeConfig;
+
+/// Register access class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read/write from the CPU.
+    ReadWrite,
+    /// Read-only status/result register.
+    ReadOnly,
+}
+
+/// One 32-bit control register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegDef {
+    /// Macro-style name (`FILTER_OP_0`).
+    pub name: String,
+    /// Byte offset within the PE's register window.
+    pub offset: u32,
+    pub access: Access,
+    /// One-line description rendered into the generated header.
+    pub doc: String,
+}
+
+/// The generated register map of one PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterMap {
+    pub regs: Vec<RegDef>,
+    /// Number of filtering stages the map was generated for.
+    pub stages: u32,
+}
+
+/// Fixed register offsets (stage-independent part of the map).
+pub mod offsets {
+    /// Write 1 to start processing the configured block.
+    pub const START: u32 = 0x00;
+    /// Bit 0: BUSY; bit 1: DONE since last START.
+    pub const STATUS: u32 = 0x04;
+    pub const SRC_ADDR_LO: u32 = 0x08;
+    pub const SRC_ADDR_HI: u32 = 0x0C;
+    /// Bytes to load; flexible units honour any value up to the chunk
+    /// size, the fixed units of [1] ignore it and always move 32 KiB.
+    pub const SRC_LEN: u32 = 0x10;
+    pub const DST_ADDR_LO: u32 = 0x14;
+    pub const DST_ADDR_HI: u32 = 0x18;
+    pub const DST_CAPACITY: u32 = 0x1C;
+    /// Bytes of result actually produced (read-only).
+    pub const RESULT_BYTES: u32 = 0x20;
+    pub const TUPLES_IN: u32 = 0x24;
+    pub const TUPLES_OUT: u32 = 0x28;
+    pub const VERSION: u32 = 0x2C;
+    /// First per-stage group; each group is [`STAGE_STRIDE`] bytes.
+    pub const STAGE_BASE: u32 = 0x30;
+    pub const STAGE_STRIDE: u32 = 0x10;
+    /// Within a stage group: lane selector.
+    pub const STAGE_FIELD: u32 = 0x0;
+    /// Within a stage group: operator code.
+    pub const STAGE_OP: u32 = 0x4;
+    /// Within a stage group: reference value, low half.
+    pub const STAGE_VAL_LO: u32 = 0x8;
+    /// Within a stage group: reference value, high half.
+    pub const STAGE_VAL_HI: u32 = 0xC;
+}
+
+/// Aggregation register offsets *relative to* `FILTER_COUNTER`
+/// (present only when the configuration requests aggregates).
+pub mod agg_offsets {
+    /// Lane whose values feed the Aggregation Unit.
+    pub const AGG_FIELD: u32 = 0x4;
+    /// Reduction select (0 = disabled; see `ndp_ir::AggOp::code`).
+    pub const AGG_OP: u32 = 0x8;
+    /// Accumulator, low half (read-only).
+    pub const AGG_RESULT_LO: u32 = 0xC;
+    /// Accumulator, high half (read-only).
+    pub const AGG_RESULT_HI: u32 = 0x10;
+}
+
+/// Value reported by the `VERSION` register of this template generation.
+pub const TEMPLATE_VERSION: u32 = 0x0002_0001;
+
+impl RegisterMap {
+    /// Generate the register map for `cfg`.
+    pub fn for_config(cfg: &PeConfig) -> Self {
+        let mut map = Self::for_stages(cfg.stages);
+        if !cfg.aggregates.is_empty() {
+            let fc = map.filter_counter_offset();
+            map.regs.push(RegDef {
+                name: "AGG_FIELD".into(),
+                offset: fc + agg_offsets::AGG_FIELD,
+                access: Access::ReadWrite,
+                doc: "Aggregation Unit: lane select".into(),
+            });
+            map.regs.push(RegDef {
+                name: "AGG_OP".into(),
+                offset: fc + agg_offsets::AGG_OP,
+                access: Access::ReadWrite,
+                doc: "Aggregation Unit: reduction select (0 = off)".into(),
+            });
+            map.regs.push(RegDef {
+                name: "AGG_RESULT_LO".into(),
+                offset: fc + agg_offsets::AGG_RESULT_LO,
+                access: Access::ReadOnly,
+                doc: "Aggregation accumulator, low 32 bit".into(),
+            });
+            map.regs.push(RegDef {
+                name: "AGG_RESULT_HI".into(),
+                offset: fc + agg_offsets::AGG_RESULT_HI,
+                access: Access::ReadOnly,
+                doc: "Aggregation accumulator, high 32 bit".into(),
+            });
+        }
+        map
+    }
+
+    /// Generate a map for an explicit stage count.
+    pub fn for_stages(stages: u32) -> Self {
+        use offsets::*;
+        let mut regs = vec![
+            RegDef {
+                name: "START".into(),
+                offset: START,
+                access: Access::ReadWrite,
+                doc: "Write 1 to start processing the configured block".into(),
+            },
+            RegDef {
+                name: "STATUS".into(),
+                offset: STATUS,
+                access: Access::ReadOnly,
+                doc: "Bit 0: BUSY, bit 1: DONE".into(),
+            },
+            RegDef {
+                name: "SRC_ADDR_LO".into(),
+                offset: SRC_ADDR_LO,
+                access: Access::ReadWrite,
+                doc: "Source address in PS-DRAM, low 32 bit".into(),
+            },
+            RegDef {
+                name: "SRC_ADDR_HI".into(),
+                offset: SRC_ADDR_HI,
+                access: Access::ReadWrite,
+                doc: "Source address in PS-DRAM, high 32 bit".into(),
+            },
+            RegDef {
+                name: "SRC_LEN".into(),
+                offset: SRC_LEN,
+                access: Access::ReadWrite,
+                doc: "Bytes to load (partial blocks supported by this work)".into(),
+            },
+            RegDef {
+                name: "DST_ADDR_LO".into(),
+                offset: DST_ADDR_LO,
+                access: Access::ReadWrite,
+                doc: "Destination address in PS-DRAM, low 32 bit".into(),
+            },
+            RegDef {
+                name: "DST_ADDR_HI".into(),
+                offset: DST_ADDR_HI,
+                access: Access::ReadWrite,
+                doc: "Destination address in PS-DRAM, high 32 bit".into(),
+            },
+            RegDef {
+                name: "DST_CAPACITY".into(),
+                offset: DST_CAPACITY,
+                access: Access::ReadWrite,
+                doc: "Result buffer capacity in bytes".into(),
+            },
+            RegDef {
+                name: "RESULT_BYTES".into(),
+                offset: RESULT_BYTES,
+                access: Access::ReadOnly,
+                doc: "Bytes of result written back".into(),
+            },
+            RegDef {
+                name: "TUPLES_IN".into(),
+                offset: TUPLES_IN,
+                access: Access::ReadOnly,
+                doc: "Tuples parsed from the input stream".into(),
+            },
+            RegDef {
+                name: "TUPLES_OUT".into(),
+                offset: TUPLES_OUT,
+                access: Access::ReadOnly,
+                doc: "Tuples that passed all filter stages".into(),
+            },
+            RegDef {
+                name: "VERSION".into(),
+                offset: VERSION,
+                access: Access::ReadOnly,
+                doc: "Template generation version".into(),
+            },
+        ];
+        for s in 0..stages {
+            let base = STAGE_BASE + s * STAGE_STRIDE;
+            regs.push(RegDef {
+                name: format!("FILTER_FIELD_{s}"),
+                offset: base + STAGE_FIELD,
+                access: Access::ReadWrite,
+                doc: format!("Stage {s}: comparator lane select"),
+            });
+            regs.push(RegDef {
+                name: format!("FILTER_OP_{s}"),
+                offset: base + STAGE_OP,
+                access: Access::ReadWrite,
+                doc: format!("Stage {s}: operator code (0 = nop)"),
+            });
+            regs.push(RegDef {
+                name: format!("FILTER_VAL_LO_{s}"),
+                offset: base + STAGE_VAL_LO,
+                access: Access::ReadWrite,
+                doc: format!("Stage {s}: reference value, low 32 bit"),
+            });
+            regs.push(RegDef {
+                name: format!("FILTER_VAL_HI_{s}"),
+                offset: base + STAGE_VAL_HI,
+                access: Access::ReadWrite,
+                doc: format!("Stage {s}: reference value, high 32 bit"),
+            });
+        }
+        regs.push(RegDef {
+            name: "FILTER_COUNTER".into(),
+            offset: STAGE_BASE + stages * STAGE_STRIDE,
+            access: Access::ReadOnly,
+            doc: "Tuples that passed the final filtering stage".into(),
+        });
+        RegisterMap { regs, stages }
+    }
+
+    /// Number of registers (determines the generated RegFile size).
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True if the map has no registers (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Offset of the `FILTER_COUNTER` register.
+    pub fn filter_counter_offset(&self) -> u32 {
+        offsets::STAGE_BASE + self.stages * offsets::STAGE_STRIDE
+    }
+
+    /// Look up a register by name.
+    pub fn by_name(&self, name: &str) -> Option<&RegDef> {
+        self.regs.iter().find(|r| r.name == name)
+    }
+}
+
+/// Memory-mapped I/O interface of a PE as seen from the ARM core.
+pub trait Mmio {
+    /// Read the 32-bit register at byte offset `offset`.
+    fn mmio_read(&mut self, offset: u32) -> u32;
+
+    /// Write the 32-bit register at byte offset `offset`.
+    fn mmio_write(&mut self, offset: u32, value: u32);
+}
+
+/// Software-visible register state shared by the generated and the
+/// baseline PE models.
+#[derive(Debug, Clone)]
+pub struct RegState {
+    pub start_pending: bool,
+    pub busy: bool,
+    pub done: bool,
+    pub src_addr: u64,
+    pub src_len: u32,
+    pub dst_addr: u64,
+    pub dst_capacity: u32,
+    pub result_bytes: u32,
+    pub tuples_in: u32,
+    pub tuples_out: u32,
+    /// Per-stage (field, op, value) configuration.
+    pub filters: Vec<(u32, u32, u64)>,
+    pub filter_counter: u32,
+    /// Aggregation configuration (lane, reduction code) and accumulator.
+    pub agg_field: u32,
+    pub agg_op: u32,
+    pub agg_result: u64,
+    /// Whether the aggregation registers exist on this PE.
+    pub has_agg: bool,
+    stages: u32,
+}
+
+impl RegState {
+    /// Zero-initialized state for `stages` filtering stages. All filter
+    /// ops start as `nop` (code 0), matching the hardware reset value.
+    pub fn new(stages: u32) -> Self {
+        Self {
+            start_pending: false,
+            busy: false,
+            done: false,
+            src_addr: 0,
+            src_len: 0,
+            dst_addr: 0,
+            dst_capacity: 0,
+            result_bytes: 0,
+            tuples_in: 0,
+            tuples_out: 0,
+            filters: vec![(0, 0, 0); stages as usize],
+            filter_counter: 0,
+            agg_field: 0,
+            agg_op: 0,
+            agg_result: 0,
+            has_agg: false,
+            stages,
+        }
+    }
+
+    fn stage_reg(&mut self, offset: u32) -> Option<(&mut (u32, u32, u64), u32)> {
+        use offsets::*;
+        if offset < STAGE_BASE {
+            return None;
+        }
+        let rel = offset - STAGE_BASE;
+        let stage = rel / STAGE_STRIDE;
+        if stage >= self.stages {
+            return None;
+        }
+        Some((&mut self.filters[stage as usize], rel % STAGE_STRIDE))
+    }
+
+    /// MMIO read dispatch (shared by both PE models).
+    pub fn read(&mut self, offset: u32) -> u32 {
+        use offsets::*;
+        match offset {
+            START => 0,
+            STATUS => u32::from(self.busy) | (u32::from(self.done) << 1),
+            SRC_ADDR_LO => self.src_addr as u32,
+            SRC_ADDR_HI => (self.src_addr >> 32) as u32,
+            SRC_LEN => self.src_len,
+            DST_ADDR_LO => self.dst_addr as u32,
+            DST_ADDR_HI => (self.dst_addr >> 32) as u32,
+            DST_CAPACITY => self.dst_capacity,
+            RESULT_BYTES => self.result_bytes,
+            TUPLES_IN => self.tuples_in,
+            TUPLES_OUT => self.tuples_out,
+            VERSION => TEMPLATE_VERSION,
+            _ => {
+                let fc = STAGE_BASE + self.stages * STAGE_STRIDE;
+                if offset == fc {
+                    return self.filter_counter;
+                }
+                if self.has_agg {
+                    match offset.checked_sub(fc) {
+                        Some(crate::regs::agg_offsets::AGG_FIELD) => return self.agg_field,
+                        Some(crate::regs::agg_offsets::AGG_OP) => return self.agg_op,
+                        Some(crate::regs::agg_offsets::AGG_RESULT_LO) => {
+                            return self.agg_result as u32
+                        }
+                        Some(crate::regs::agg_offsets::AGG_RESULT_HI) => {
+                            return (self.agg_result >> 32) as u32
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some((f, field)) = self.stage_reg(offset) {
+                    return match field {
+                        STAGE_FIELD => f.0,
+                        STAGE_OP => f.1,
+                        STAGE_VAL_LO => f.2 as u32,
+                        STAGE_VAL_HI => (f.2 >> 32) as u32,
+                        _ => 0,
+                    };
+                }
+                0
+            }
+        }
+    }
+
+    /// MMIO write dispatch (shared by both PE models).
+    pub fn write(&mut self, offset: u32, value: u32) {
+        use offsets::*;
+        match offset {
+            START => {
+                if value & 1 != 0 {
+                    self.start_pending = true;
+                    self.done = false;
+                }
+            }
+            SRC_ADDR_LO => {
+                self.src_addr = (self.src_addr & !0xFFFF_FFFF) | u64::from(value);
+            }
+            SRC_ADDR_HI => {
+                self.src_addr = (self.src_addr & 0xFFFF_FFFF) | (u64::from(value) << 32);
+            }
+            SRC_LEN => self.src_len = value,
+            DST_ADDR_LO => {
+                self.dst_addr = (self.dst_addr & !0xFFFF_FFFF) | u64::from(value);
+            }
+            DST_ADDR_HI => {
+                self.dst_addr = (self.dst_addr & 0xFFFF_FFFF) | (u64::from(value) << 32);
+            }
+            DST_CAPACITY => self.dst_capacity = value,
+            _ => {
+                let fc = STAGE_BASE + self.stages * STAGE_STRIDE;
+                if self.has_agg {
+                    match offset.checked_sub(fc) {
+                        Some(crate::regs::agg_offsets::AGG_FIELD) => {
+                            self.agg_field = value;
+                            return;
+                        }
+                        Some(crate::regs::agg_offsets::AGG_OP) => {
+                            self.agg_op = value;
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some((f, field)) = self.stage_reg(offset) {
+                    match field {
+                        STAGE_FIELD => f.0 = value,
+                        STAGE_OP => f.1 = value,
+                        STAGE_VAL_LO => f.2 = (f.2 & !0xFFFF_FFFF) | u64::from(value),
+                        STAGE_VAL_HI => f.2 = (f.2 & 0xFFFF_FFFF) | (u64::from(value) << 32),
+                        _ => {}
+                    }
+                }
+                // Writes to read-only or unmapped registers are ignored,
+                // matching AXI-Lite slaves that OKAY but discard.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_has_fixed_plus_per_stage_registers() {
+        let m1 = RegisterMap::for_stages(1);
+        let m3 = RegisterMap::for_stages(3);
+        assert_eq!(m1.len(), 12 + 4 + 1);
+        assert_eq!(m3.len(), 12 + 12 + 1);
+        assert_eq!(m3.by_name("FILTER_VAL_HI_2").unwrap().offset, 0x30 + 2 * 0x10 + 0xC);
+    }
+
+    #[test]
+    fn filter_counter_sits_after_last_stage_group() {
+        let m = RegisterMap::for_stages(2);
+        assert_eq!(m.filter_counter_offset(), 0x30 + 2 * 0x10);
+        assert_eq!(m.by_name("FILTER_COUNTER").unwrap().offset, m.filter_counter_offset());
+    }
+
+    #[test]
+    fn offsets_are_unique_and_word_aligned() {
+        let m = RegisterMap::for_stages(5);
+        let mut seen = std::collections::HashSet::new();
+        for r in &m.regs {
+            assert_eq!(r.offset % 4, 0, "{} not word aligned", r.name);
+            assert!(seen.insert(r.offset), "duplicate offset {:#x}", r.offset);
+        }
+    }
+
+    #[test]
+    fn state_addr_halves_combine() {
+        let mut s = RegState::new(1);
+        s.write(offsets::SRC_ADDR_LO, 0xDEAD_BEEF);
+        s.write(offsets::SRC_ADDR_HI, 0x1);
+        assert_eq!(s.src_addr, 0x1_DEAD_BEEF);
+        assert_eq!(s.read(offsets::SRC_ADDR_LO), 0xDEAD_BEEF);
+        assert_eq!(s.read(offsets::SRC_ADDR_HI), 0x1);
+    }
+
+    #[test]
+    fn filter_value_halves_combine() {
+        let mut s = RegState::new(2);
+        let base = offsets::STAGE_BASE + offsets::STAGE_STRIDE; // stage 1
+        s.write(base + offsets::STAGE_VAL_LO, 0x3333_2222);
+        s.write(base + offsets::STAGE_VAL_HI, 0x0000_1111);
+        assert_eq!(s.filters[1].2, 0x0000_1111_3333_2222);
+        assert_eq!(s.filters[0].2, 0);
+    }
+
+    #[test]
+    fn start_sets_pending_and_clears_done() {
+        let mut s = RegState::new(1);
+        s.done = true;
+        s.write(offsets::START, 1);
+        assert!(s.start_pending);
+        assert!(!s.done);
+        // Writing 0 does nothing.
+        let mut s2 = RegState::new(1);
+        s2.write(offsets::START, 0);
+        assert!(!s2.start_pending);
+    }
+
+    #[test]
+    fn status_encodes_busy_and_done() {
+        let mut s = RegState::new(1);
+        s.busy = true;
+        assert_eq!(s.read(offsets::STATUS), 1);
+        s.busy = false;
+        s.done = true;
+        assert_eq!(s.read(offsets::STATUS), 2);
+    }
+
+    #[test]
+    fn out_of_range_stage_registers_are_inert() {
+        let mut s = RegState::new(1);
+        let beyond = offsets::STAGE_BASE + 7 * offsets::STAGE_STRIDE;
+        s.write(beyond, 0xFFFF);
+        assert_eq!(s.read(beyond), 0);
+    }
+
+    #[test]
+    fn read_only_registers_ignore_writes() {
+        let mut s = RegState::new(1);
+        s.tuples_in = 42;
+        s.write(offsets::TUPLES_IN, 7);
+        assert_eq!(s.read(offsets::TUPLES_IN), 42);
+    }
+
+    #[test]
+    fn version_register_reports_template_generation() {
+        let mut s = RegState::new(1);
+        assert_eq!(s.read(offsets::VERSION), TEMPLATE_VERSION);
+    }
+
+    #[test]
+    fn reset_filters_are_nop() {
+        let s = RegState::new(3);
+        assert!(s.filters.iter().all(|&(_, op, _)| op == 0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Shape check for Fig. 8: out-of-context slices vs tuple size, "Full"
+//! (all 32-bit fields relevant) vs "Half" (half the data discarded via
+//! string prefixing).
+
+use ndp_ir::elaborate;
+use ndp_pe::template::{pe_report, PeVariant};
+use ndp_spec::parse;
+
+fn full_spec(bits: u32) -> String {
+    let n = bits / 32;
+    let fields: Vec<String> = (0..n).map(|i| format!("uint32_t f{i};")).collect();
+    format!(
+        "/* @autogen define parser F with input = T, output = T */
+         typedef struct {{ {} }} T;",
+        fields.join(" ")
+    )
+}
+
+fn half_spec(bits: u32) -> String {
+    // Same total tuple size as the Full variant, but only half the data is
+    // relevant: (bits/64 - 1) u32 fields plus a 4-byte string prefix; the
+    // string postfix makes up the discarded half.
+    let n = bits / 64 - 1;
+    let string_len = bits / 16 + 4; // bytes: 4 prefix + bits/16 postfix
+    let fields: Vec<String> = (0..n).map(|i| format!("uint32_t f{i};")).collect();
+    format!(
+        "/* @autogen define parser F with input = T, output = T */
+         typedef struct {{ {} /* @string(prefix = 4) */ uint8_t s[{}]; }} T;",
+        fields.join(" "),
+        string_len
+    )
+}
+
+fn ooc(spec: &str) -> f64 {
+    let m = parse(spec).unwrap();
+    let cfg = elaborate(&m, "F").unwrap();
+    pe_report(&cfg, PeVariant::Generated).slices_out_of_context as f64
+}
+
+#[test]
+fn fig8_shape_holds() {
+    let sizes = [64u32, 128, 256, 512, 1024];
+    let mut rows = Vec::new();
+    for &s in &sizes {
+        let f = ooc(&full_spec(s));
+        let h = ooc(&half_spec(s));
+        rows.push((s, f, h));
+        println!("size {s:5}: full {f:8.0}  half {h:8.0}  half/full {:.3}", h / f);
+    }
+    // Monotonic growth.
+    for w in rows.windows(2) {
+        assert!(w[1].1 > w[0].1 && w[1].2 > w[0].2);
+    }
+    // Half costs more at the smallest size...
+    assert!(rows[0].2 > rows[0].1, "Half should exceed Full at 64 bit");
+    // ...and the ratio declines with size (prefixing pays off for large tuples).
+    let r0 = rows[0].2 / rows[0].1;
+    let r4 = rows[4].2 / rows[4].1;
+    assert!(r4 < r0, "Half/Full ratio should decline: {r0:.3} -> {r4:.3}");
+}

@@ -1,0 +1,87 @@
+//! The data-format specification shared by the KV-store and the
+//! accelerator generator.
+
+/// Parser name for the paper-table PE.
+pub const PAPER_PE: &str = "PaperPe";
+/// Parser name for the reference-table PE.
+pub const REF_PE: &str = "RefPe";
+
+/// The C-style specification of both evaluation tables, as a database
+/// engineer would write it (paper, Fig. 4 syntax). `PaperPe` filters and
+/// passes through 80-byte paper records; `RefPe` handles 20-byte
+/// reference (edge) records.
+pub const PAPER_REF_SPEC: &str = "
+/* @autogen define parser PaperPe with
+   chunksize = 32, input = Paper, output = Paper */
+/* @autogen define parser RefPe with
+   chunksize = 32, input = Ref, output = Ref */
+
+typedef struct {
+    uint64_t id;        /* publication id (the KV key)           */
+    uint32_t year;      /* publication year                       */
+    uint32_t venue;     /* journal / conference id                */
+    uint32_t n_cits;    /* citation count                         */
+    uint32_t n_refs;    /* outgoing reference count               */
+    /* @string(prefix = 8) */ uint8_t title[56];
+} Paper;
+
+typedef struct {
+    uint64_t src;       /* citing paper id (the KV key)           */
+    uint64_t dst;       /* cited paper id                         */
+    uint32_t year;      /* year the citation was made             */
+} Ref;
+";
+
+/// Comparator lane indices of the `Paper` layout (id, year, venue,
+/// n_cits, n_refs, title.prefix).
+pub mod paper_lanes {
+    pub const ID: u32 = 0;
+    pub const YEAR: u32 = 1;
+    pub const VENUE: u32 = 2;
+    pub const N_CITS: u32 = 3;
+    pub const N_REFS: u32 = 4;
+    pub const TITLE_PREFIX: u32 = 5;
+}
+
+/// Comparator lane indices of the `Ref` layout.
+pub mod ref_lanes {
+    pub const SRC: u32 = 0;
+    pub const DST: u32 = 1;
+    pub const YEAR: u32 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_elaborates() {
+        let m = ndp_spec::parse(PAPER_REF_SPEC).unwrap();
+        let paper = ndp_ir::elaborate(&m, PAPER_PE).unwrap();
+        let r#ref = ndp_ir::elaborate(&m, REF_PE).unwrap();
+        assert_eq!(paper.input.tuple_bytes(), 80);
+        assert_eq!(r#ref.input.tuple_bytes(), 20);
+        assert_eq!(paper.input.lanes, 6);
+        assert_eq!(r#ref.input.lanes, 3);
+        assert_eq!(paper.input.lane_bits, 64);
+    }
+
+    #[test]
+    fn lane_constants_match_elaborated_layouts() {
+        let m = ndp_spec::parse(PAPER_REF_SPEC).unwrap();
+        let paper = ndp_ir::elaborate(&m, PAPER_PE).unwrap();
+        let lane_of = |path: &str| paper.input.field(path).unwrap().lane.unwrap();
+        assert_eq!(lane_of("id"), paper_lanes::ID);
+        assert_eq!(lane_of("year"), paper_lanes::YEAR);
+        assert_eq!(lane_of("venue"), paper_lanes::VENUE);
+        assert_eq!(lane_of("n_cits"), paper_lanes::N_CITS);
+        assert_eq!(lane_of("n_refs"), paper_lanes::N_REFS);
+        assert_eq!(lane_of("title.prefix"), paper_lanes::TITLE_PREFIX);
+
+        let r#ref = ndp_ir::elaborate(&m, REF_PE).unwrap();
+        let rlane = |path: &str| r#ref.input.field(path).unwrap().lane.unwrap();
+        assert_eq!(rlane("src"), ref_lanes::SRC);
+        assert_eq!(rlane("dst"), ref_lanes::DST);
+        assert_eq!(rlane("year"), ref_lanes::YEAR);
+    }
+}

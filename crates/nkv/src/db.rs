@@ -1,0 +1,638 @@
+//! The nKV database facade.
+//!
+//! Ties the platform, the per-table LSM trees and the NDP execution
+//! engine together behind the operations the paper evaluates: PUT,
+//! DELETE, GET, SCAN (value predicates) and RANGE_SCAN (the 2-stage
+//! showcase of the multi-stage filtering extension). Every operation
+//! advances the device's simulated clock and returns a [`SimReport`].
+
+use crate::error::{NkvError, NkvResult};
+use crate::exec::{self, ExecMode, SimReport, TableExec};
+use crate::lsm::{LsmConfig, LsmTree};
+use crate::placement::PageAllocator;
+use crate::sst::SstBuilder;
+use cosmos_sim::{CosmosConfig, CosmosPlatform, Server, SimNs};
+use ndp_ir::PeConfig;
+use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
+use ndp_pe::template::PeVariant;
+use ndp_pe::{BaselinePe, PeDevice, PeSim};
+use ndp_swgen::{DriverProfile, PeDriver};
+use std::collections::HashMap;
+
+/// Per-table configuration.
+#[derive(Clone)]
+pub struct TableConfig {
+    /// Elaborated PE configuration (defines the record format too).
+    pub pe: PeConfig,
+    /// Number of PEs attached to this table (the paper uses 1 paper-PE
+    /// and 7 ref-PEs).
+    pub n_pes: usize,
+    /// Generated PEs (this work) or hand-crafted baseline PEs \[1\].
+    pub variant: PeVariant,
+    /// Drive the tick-level PE model (slow, exact) instead of the
+    /// validated fast path.
+    pub cycle_accurate: bool,
+    /// Whether keys are unique (one record per key). Multi-record
+    /// tables (e.g. edge lists keyed by source) set this to false:
+    /// bulk loads may then contain duplicate keys, GET returns the
+    /// first match, and SCAN skips version reconciliation.
+    pub unique_keys: bool,
+    /// LSM tuning.
+    pub lsm: LsmConfig,
+}
+
+impl TableConfig {
+    /// Sensible defaults: one generated PE, fast fidelity.
+    pub fn new(pe: PeConfig) -> Self {
+        Self {
+            pe,
+            n_pes: 1,
+            variant: PeVariant::Generated,
+            cycle_accurate: false,
+            unique_keys: true,
+            lsm: LsmConfig::default(),
+        }
+    }
+}
+
+struct Table {
+    lsm: LsmTree,
+    exec: TableExec,
+    unique_keys: bool,
+}
+
+/// Summary of a SCAN (results plus the simulation report).
+#[derive(Debug, Clone)]
+pub struct ScanSummary {
+    /// Matched records, reconciled to newest versions, in component
+    /// recency order.
+    pub records: Vec<u8>,
+    /// Number of matched records.
+    pub count: u64,
+    pub report: SimReport,
+}
+
+/// The device-level database.
+pub struct NkvDb {
+    platform: CosmosPlatform,
+    alloc: PageAllocator,
+    tables: HashMap<String, Table>,
+    clock: SimNs,
+}
+
+impl NkvDb {
+    /// Create a database on a platform built from `cfg`.
+    pub fn new(cfg: CosmosConfig) -> Self {
+        let platform = CosmosPlatform::new(cfg);
+        let alloc = PageAllocator::new(platform.flash.config());
+        Self { platform, alloc, tables: HashMap::new(), clock: 0 }
+    }
+
+    /// Create a database with default platform configuration.
+    pub fn default_db() -> Self {
+        Self::new(CosmosConfig::default())
+    }
+
+    /// Current simulated device time.
+    pub fn clock(&self) -> SimNs {
+        self.clock
+    }
+
+    /// Access the underlying platform (diagnostics, fault injection).
+    pub fn platform_mut(&mut self) -> &mut CosmosPlatform {
+        &mut self.platform
+    }
+
+    /// Create a table driven by the given PE configuration.
+    pub fn create_table(&mut self, name: &str, cfg: TableConfig) -> NkvResult<()> {
+        let record_bytes = cfg.pe.input.tuple_bytes() as usize;
+        let processor = BlockProcessor::new(&cfg.pe);
+        let ops = OpTable::from_config(&cfg.pe);
+        let profile = match cfg.variant {
+            PeVariant::Generated => DriverProfile::Generated,
+            PeVariant::HandCrafted => DriverProfile::Baseline,
+        };
+        let mut drivers: Vec<PeDriver<Box<dyn PeDevice>>> = Vec::with_capacity(cfg.n_pes);
+        for _ in 0..cfg.n_pes.max(1) {
+            let dev: Box<dyn PeDevice> = match cfg.variant {
+                PeVariant::Generated => Box::new(PeSim::new(cfg.pe.clone())),
+                PeVariant::HandCrafted => Box::new(BaselinePe::new(cfg.pe.clone())?),
+            };
+            drivers.push(PeDriver::new(dev, profile));
+        }
+        let n = drivers.len();
+        let full_block_payload =
+            (cfg.pe.chunk_bytes / record_bytes as u32) * record_bytes as u32;
+        let table = Table {
+            unique_keys: cfg.unique_keys,
+            lsm: LsmTree::new(
+                name,
+                record_bytes,
+                cfg.lsm.clone(),
+                0x6e4b ^ u64::from(cfg.pe.chunk_bytes),
+            ),
+            exec: TableExec {
+                processor,
+                ops,
+                drivers,
+                pe_servers: vec![Server::new(); n],
+                profile,
+                stages: match cfg.variant {
+                    PeVariant::Generated => cfg.pe.stages,
+                    PeVariant::HandCrafted => 1,
+                },
+                cycle_accurate: cfg.cycle_accurate,
+                full_block_payload,
+                chunk_bytes: cfg.pe.chunk_bytes,
+                reconcile: cfg.unique_keys,
+                aggregates: cfg.pe.aggregates.clone(),
+            },
+        };
+        self.tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Insert or update a record (key = first 8 bytes, little endian).
+    /// Flushes and compacts as thresholds are crossed.
+    pub fn put(&mut self, table: &str, record: Vec<u8>) -> NkvResult<()> {
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let expected = t.lsm.record_bytes();
+        if record.len() != expected {
+            return Err(NkvError::RecordSizeMismatch {
+                table: table.to_string(),
+                expected,
+                got: record.len(),
+            });
+        }
+        let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+        t.lsm.put(key, record);
+        self.maintain(table)
+    }
+
+    /// Delete a key (tombstone).
+    pub fn delete(&mut self, table: &str, key: u64) -> NkvResult<()> {
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        t.lsm.delete(key);
+        self.maintain(table)
+    }
+
+    /// Run flush/compaction if thresholds are exceeded.
+    fn maintain(&mut self, table: &str) -> NkvResult<()> {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).expect("caller verified the table");
+        if t.lsm.should_flush() {
+            let done = t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?;
+            self.clock = self.clock.max(done);
+        }
+        let mut level = 0;
+        while t.lsm.should_compact(level) {
+            let done = t.lsm.compact(&mut self.platform.flash, &mut self.alloc, level, now)?;
+            self.clock = self.clock.max(done);
+            level += 1;
+        }
+        Ok(())
+    }
+
+    /// Force-flush a table's memtable.
+    pub fn flush(&mut self, table: &str) -> NkvResult<()> {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let done = t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?;
+        self.clock = self.clock.max(done);
+        Ok(())
+    }
+
+    /// Bulk-load sorted records directly into a fresh `C2` SST run
+    /// (the standard way to ingest a benchmark dataset; bypasses the
+    /// memtable, requires strictly ascending keys).
+    pub fn bulk_load<I>(&mut self, table: &str, records: I) -> NkvResult<u64>
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let record_bytes = t.lsm.record_bytes();
+        let block_bytes = t.lsm.block_bytes();
+        let max_per_sst = (block_bytes / record_bytes).max(1) * 2048;
+        let mut loaded = 0u64;
+        let mut done = now;
+        let mut builder: Option<SstBuilder> = None;
+        let mut in_current = 0usize;
+        let mut next_id = 1_000_000u64;
+        for record in records {
+            if record.len() != record_bytes {
+                return Err(NkvError::RecordSizeMismatch {
+                    table: table.to_string(),
+                    expected: record_bytes,
+                    got: record.len(),
+                });
+            }
+            let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+            let allow_dups = !t.unique_keys;
+            let b = builder.get_or_insert_with(|| {
+                next_id += 1;
+                let b = SstBuilder::new(next_id, 2, record_bytes, block_bytes, table);
+                if allow_dups {
+                    b.allow_duplicate_keys()
+                } else {
+                    b
+                }
+            });
+            b.add_record(key, &record)?;
+            loaded += 1;
+            in_current += 1;
+            if in_current >= max_per_sst {
+                let (meta, t_done) = builder
+                    .take()
+                    .expect("builder exists inside the loop")
+                    .finish(&mut self.platform.flash, &mut self.alloc, now)?;
+                done = done.max(t_done);
+                t.lsm.install_bulk_sst(meta);
+                in_current = 0;
+            }
+        }
+        if let Some(b) = builder {
+            let (meta, t_done) = b.finish(&mut self.platform.flash, &mut self.alloc, now)?;
+            done = done.max(t_done);
+            t.lsm.install_bulk_sst(meta);
+        }
+        self.clock = self.clock.max(done);
+        Ok(loaded)
+    }
+
+    /// Point lookup.
+    pub fn get(
+        &mut self,
+        table: &str,
+        key: u64,
+        mode: ExecMode,
+    ) -> NkvResult<(Option<Vec<u8>>, SimReport)> {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let (rec, report) = exec::get(&mut self.platform, &t.lsm, &mut t.exec, key, mode, now)?;
+        self.clock += report.sim_ns;
+        Ok((rec, report))
+    }
+
+    /// Full SCAN with a chain of value predicates.
+    pub fn scan(
+        &mut self,
+        table: &str,
+        rules: &[FilterRule],
+        mode: ExecMode,
+    ) -> NkvResult<ScanSummary> {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        for r in rules {
+            if r.lane as usize >= t.exec.processor.lanes() {
+                return Err(NkvError::InvalidLane { table: table.to_string(), lane: r.lane });
+            }
+        }
+        if mode == ExecMode::Hardware && rules.len() > t.exec.stages as usize {
+            return Err(NkvError::Config(format!(
+                "predicate chain of {} rules exceeds the PE's {} filtering stage(s)",
+                rules.len(),
+                t.exec.stages
+            )));
+        }
+        let (records, report) =
+            exec::scan(&mut self.platform, &t.lsm, &mut t.exec, rules, mode, now)?;
+        self.clock += report.sim_ns;
+        let count = records.len() as u64 / t.exec.processor.out_tuple_bytes().max(1) as u64;
+        Ok(ScanSummary { records, count, report })
+    }
+
+    /// Aggregate SCAN pushdown: compute `agg` over `lane` of every record
+    /// matching `rules`; only the 64-bit result leaves the device.
+    /// Returns `(value, any_rows, report)`. In hardware mode the table's
+    /// PEs must have been generated with `aggregate = {...}`.
+    pub fn scan_aggregate(
+        &mut self,
+        table: &str,
+        rules: &[FilterRule],
+        agg: ndp_ir::AggOp,
+        lane: u32,
+        mode: ExecMode,
+    ) -> NkvResult<(u64, bool, SimReport)> {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        if mode == ExecMode::Hardware && !t.exec.aggregates.contains(&agg) {
+            return Err(NkvError::Config(format!(
+                "table `{table}`'s PEs were not generated with the `{}` aggregate",
+                agg.name()
+            )));
+        }
+        let out = exec::scan_aggregate(&mut self.platform, &t.lsm, &mut t.exec, rules, agg, lane, mode, now)?;
+        self.clock += out.2.sim_ns;
+        Ok(out)
+    }
+
+    /// RANGE_SCAN on the key: `lo <= key < hi`, expressed as a 2-stage
+    /// predicate chain (the paper: "especially the 2-staged ones are
+    /// interesting, since they could be used to implement RANGE_SCANs").
+    pub fn range_scan(
+        &mut self,
+        table: &str,
+        lo: u64,
+        hi: u64,
+        mode: ExecMode,
+    ) -> NkvResult<ScanSummary> {
+        let rules = [
+            FilterRule { lane: 0, op_code: 4 /* ge */, value: lo },
+            FilterRule { lane: 0, op_code: 5 /* lt */, value: hi },
+        ];
+        self.scan(table, &rules, mode)
+    }
+
+    /// Persist the device manifest so [`NkvDb::recover`] can rebuild the
+    /// store after a power cycle. Unflushed memtable contents are
+    /// volatile by design — flush first if they must survive.
+    pub fn persist(&mut self) -> NkvResult<()> {
+        let manifest = crate::recovery::Manifest {
+            tables: self
+                .tables
+                .iter()
+                .map(|(name, t)| {
+                    crate::recovery::manifest_entry(
+                        name,
+                        t.lsm.record_bytes(),
+                        t.unique_keys,
+                        t.lsm.levels(),
+                    )
+                })
+                .collect(),
+        };
+        let done =
+            crate::recovery::write_manifest(&mut self.platform.flash, &manifest, self.clock)?;
+        self.clock = self.clock.max(done);
+        Ok(())
+    }
+
+    /// Rebuild a database from a flash image (after a simulated power
+    /// cycle): reads the manifest, re-parses every SST index block and
+    /// reconstructs trees, blooms, tombstones and allocator watermarks.
+    /// `table_configs` re-supplies the PE configurations (formats live in
+    /// the data catalog / specification, not in flash).
+    pub fn recover(
+        platform: CosmosPlatform,
+        table_configs: Vec<(String, TableConfig)>,
+    ) -> NkvResult<Self> {
+        let mut db = Self {
+            alloc: PageAllocator::new(platform.flash.config()),
+            platform,
+            tables: HashMap::new(),
+            clock: 0,
+        };
+        let (manifest, t_manifest) =
+            crate::recovery::read_manifest(&mut db.platform.flash, 0)?;
+        db.clock = t_manifest;
+        for entry in &manifest.tables {
+            let (_, cfg) = table_configs
+                .iter()
+                .find(|(n, _)| n == &entry.name)
+                .ok_or_else(|| {
+                    NkvError::Config(format!(
+                        "no table configuration supplied for recovered table `{}`",
+                        entry.name
+                    ))
+                })?;
+            if cfg.pe.input.tuple_bytes() != u64::from(entry.record_bytes) {
+                return Err(NkvError::Config(format!(
+                    "table `{}`: manifest records are {} bytes but the supplied                      format is {} bytes",
+                    entry.name,
+                    entry.record_bytes,
+                    cfg.pe.input.tuple_bytes()
+                )));
+            }
+            db.create_table(&entry.name, cfg.clone())?;
+            let (recovered, t) = crate::recovery::recover_table_ssts(
+                &mut db.platform.flash,
+                entry,
+                db.clock,
+            )?;
+            db.clock = db.clock.max(t);
+            for (_, meta) in &recovered {
+                for block in &meta.blocks {
+                    for &p in &block.pages {
+                        db.alloc.mark_used(p);
+                    }
+                }
+                for &p in &meta.index_pages {
+                    db.alloc.mark_used(p);
+                }
+            }
+            let t = db.tables.get_mut(&entry.name).expect("just created");
+            t.lsm = crate::lsm::LsmTree::from_recovered(
+                &entry.name,
+                entry.record_bytes as usize,
+                cfg.lsm.clone(),
+                0x6e4b ^ u64::from(cfg.pe.chunk_bytes),
+                recovered,
+            );
+        }
+        Ok(db)
+    }
+
+    /// Level occupancy of a table (diagnostics).
+    pub fn level_sizes(&self, table: &str) -> NkvResult<Vec<usize>> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        Ok(t.lsm.level_sizes())
+    }
+
+    /// Total persistent records of a table (including shadowed versions).
+    pub fn persistent_records(&self, table: &str) -> NkvResult<u64> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        Ok(t.lsm.persistent_records())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_ir::elaborate;
+    use ndp_spec::parse;
+    use ndp_workload::spec::{paper_lanes, PAPER_PE, PAPER_REF_SPEC};
+    use ndp_workload::{Paper, PaperGen, PubGraphConfig};
+
+    fn paper_db(n_pes: usize, variant: PeVariant) -> NkvDb {
+        let m = parse(PAPER_REF_SPEC).unwrap();
+        let pe = elaborate(&m, PAPER_PE).unwrap();
+        let mut db = NkvDb::default_db();
+        let mut cfg = TableConfig::new(pe);
+        cfg.n_pes = n_pes;
+        cfg.variant = variant;
+        db.create_table("papers", cfg).unwrap();
+        db
+    }
+
+    fn encode(p: &Paper) -> Vec<u8> {
+        let mut v = Vec::with_capacity(80);
+        p.encode_into(&mut v);
+        v
+    }
+
+    #[test]
+    fn put_get_delete_lifecycle() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 10, refs: 10, seed: 1 };
+        let p = PaperGen::paper_at(&cfg, 3);
+        db.put("papers", encode(&p)).unwrap();
+        let (got, rep) = db.get("papers", p.id, ExecMode::Software).unwrap();
+        assert_eq!(got, Some(encode(&p)));
+        assert!(rep.sim_ns > 0);
+        db.delete("papers", p.id).unwrap();
+        let (gone, _) = db.get("papers", p.id, ExecMode::Software).unwrap();
+        assert_eq!(gone, None);
+        assert!(db.clock() > 0);
+    }
+
+    #[test]
+    fn bulk_load_then_get_both_modes() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 3000, refs: 3000, seed: 9 };
+        let n = db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        assert_eq!(n, 3000);
+        let p = PaperGen::paper_at(&cfg, 1234);
+        let (sw, _) = db.get("papers", p.id, ExecMode::Software).unwrap();
+        let (hw, _) = db.get("papers", p.id, ExecMode::Hardware).unwrap();
+        assert_eq!(sw, Some(encode(&p)));
+        assert_eq!(sw, hw);
+    }
+
+    #[test]
+    fn scan_filters_by_year_in_both_modes() {
+        let mut db = paper_db(2, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 5000, refs: 5000, seed: 5 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2015 }];
+        let sw = db.scan("papers", &rules, ExecMode::Software).unwrap();
+        let hw = db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+        assert_eq!(sw.records, hw.records);
+        assert!(sw.count > 0);
+        // Oracle cross-check against the generator.
+        let expected = PaperGen::new(cfg).filter(|p| p.year >= 2015).count() as u64;
+        assert_eq!(sw.count, expected);
+    }
+
+    #[test]
+    fn scan_sees_unflushed_and_updated_records() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 100, refs: 100, seed: 2 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        // Update one paper's year in place (newer version shadows).
+        let mut p = PaperGen::paper_at(&cfg, 50);
+        p.year = 1900;
+        db.put("papers", encode(&p)).unwrap();
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 5 /* lt */, value: 1950 }];
+        let s = db.scan("papers", &rules, ExecMode::Software).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(Paper::decode(&s.records).year, 1900);
+        assert_eq!(Paper::decode(&s.records).id, p.id);
+    }
+
+    #[test]
+    fn range_scan_uses_two_stages() {
+        let m = parse(PAPER_REF_SPEC).unwrap();
+        let mut pe = elaborate(&m, PAPER_PE).unwrap();
+        pe.stages = 2; // the RANGE_SCAN configuration
+        let mut db = NkvDb::default_db();
+        db.create_table("papers", TableConfig::new(pe)).unwrap();
+        let cfg = PubGraphConfig { papers: 2000, refs: 2000, seed: 3 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        let s = db.range_scan("papers", 100, 200, ExecMode::Hardware).unwrap();
+        assert_eq!(s.count, 100);
+        for rec in s.records.chunks_exact(80) {
+            let p = Paper::decode(rec);
+            assert!((100..200).contains(&p.id));
+        }
+    }
+
+    #[test]
+    fn range_scan_needs_enough_stages_in_hardware() {
+        // A single-stage PE cannot run a 2-rule chain in hardware...
+        let mut db = paper_db(1, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 100, refs: 100, seed: 3 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        assert!(matches!(
+            db.range_scan("papers", 10, 20, ExecMode::Hardware),
+            Err(NkvError::Config(_))
+        ));
+        // ... but software NDP has no stage limit.
+        let s = db.range_scan("papers", 10, 20, ExecMode::Software).unwrap();
+        assert_eq!(s.count, 10);
+    }
+
+    #[test]
+    fn baseline_variant_produces_identical_scan_results() {
+        let mut ours = paper_db(1, PeVariant::Generated);
+        let mut base = paper_db(1, PeVariant::HandCrafted);
+        let cfg = PubGraphConfig { papers: 3000, refs: 3000, seed: 7 };
+        for db in [&mut ours, &mut base] {
+            db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        }
+        let rules = [FilterRule { lane: paper_lanes::VENUE, op_code: 5, value: 100 }];
+        let a = ours.scan("papers", &rules, ExecMode::Hardware).unwrap();
+        let b = base.scan("papers", &rules, ExecMode::Hardware).unwrap();
+        assert_eq!(a.records, b.records);
+        assert!(a.count > 0);
+    }
+
+    #[test]
+    fn unknown_table_and_bad_record_are_errors() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        assert!(matches!(db.get("nope", 1, ExecMode::Software), Err(NkvError::UnknownTable(_))));
+        assert!(matches!(
+            db.put("papers", vec![0u8; 10]),
+            Err(NkvError::RecordSizeMismatch { expected: 80, got: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_lane_is_rejected() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let rules = [FilterRule { lane: 99, op_code: 2, value: 0 }];
+        assert!(matches!(
+            db.scan("papers", &rules, ExecMode::Software),
+            Err(NkvError::InvalidLane { lane: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn many_puts_trigger_flush_and_compaction() {
+        let m = parse(PAPER_REF_SPEC).unwrap();
+        let pe = elaborate(&m, PAPER_PE).unwrap();
+        let mut db = NkvDb::default_db();
+        let mut cfg = TableConfig::new(pe);
+        cfg.lsm.memtable_bytes = 8 * 1024; // tiny, to force activity
+        cfg.lsm.c1_sst_limit = 2;
+        db.create_table("papers", cfg).unwrap();
+        let gen_cfg = PubGraphConfig { papers: 2000, refs: 2000, seed: 4 };
+        for p in PaperGen::new(gen_cfg) {
+            db.put("papers", encode(&p)).unwrap();
+        }
+        let sizes = db.level_sizes("papers").unwrap();
+        assert!(sizes[1] > 0, "compaction should have populated C2: {sizes:?}");
+        // All records remain reachable.
+        let p = PaperGen::paper_at(&gen_cfg, 999);
+        let (got, _) = db.get("papers", p.id, ExecMode::Software).unwrap();
+        assert_eq!(got, Some(encode(&p)));
+    }
+
+    #[test]
+    fn simulated_clock_advances_monotonically() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 500, refs: 500, seed: 8 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        let t0 = db.clock();
+        db.get("papers", 5, ExecMode::Software).unwrap();
+        let t1 = db.clock();
+        db.scan(
+            "papers",
+            &[FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 1990 }],
+            ExecMode::Hardware,
+        )
+        .unwrap();
+        let t2 = db.clock();
+        assert!(t0 < t1 && t1 < t2);
+    }
+}

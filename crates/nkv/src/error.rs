@@ -1,0 +1,69 @@
+//! Error types of the KV-store.
+
+use cosmos_sim::FlashError;
+use std::fmt;
+
+/// Result alias for store operations.
+pub type NkvResult<T> = Result<T, NkvError>;
+
+/// Errors surfaced by the KV-store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NkvError {
+    /// Underlying flash access failed (ECC, unwritten, out of range).
+    Flash(FlashError),
+    /// A data block failed its CRC check (corruption detected).
+    CorruptBlock { sst_id: u64, block: usize },
+    /// Unknown table name.
+    UnknownTable(String),
+    /// A record of the wrong size was handed to a fixed-record table.
+    RecordSizeMismatch { table: String, expected: usize, got: usize },
+    /// Records handed to the bulk loader were not in strictly ascending
+    /// key order.
+    UnsortedBulkLoad { table: String, prev: u64, next: u64 },
+    /// A filter rule references a lane the table's layout does not have.
+    InvalidLane { table: String, lane: u32 },
+    /// The device ran out of flash pages.
+    OutOfSpace,
+    /// Invalid PE/table configuration (e.g. baseline PE asked for
+    /// capabilities [1] does not have).
+    Config(String),
+}
+
+impl fmt::Display for NkvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NkvError::Flash(e) => write!(f, "flash error: {e}"),
+            NkvError::CorruptBlock { sst_id, block } => {
+                write!(f, "CRC mismatch in SST {sst_id}, block {block}")
+            }
+            NkvError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            NkvError::RecordSizeMismatch { table, expected, got } => write!(
+                f,
+                "table `{table}` stores {expected}-byte records, got {got} bytes"
+            ),
+            NkvError::UnsortedBulkLoad { table, prev, next } => write!(
+                f,
+                "bulk load into `{table}` not sorted: key {next} after {prev}"
+            ),
+            NkvError::InvalidLane { table, lane } => {
+                write!(f, "table `{table}` has no comparator lane {lane}")
+            }
+            NkvError::OutOfSpace => write!(f, "flash capacity exhausted"),
+            NkvError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NkvError {}
+
+impl From<FlashError> for NkvError {
+    fn from(e: FlashError) -> Self {
+        NkvError::Flash(e)
+    }
+}
+
+impl From<ndp_ir::IrError> for NkvError {
+    fn from(e: ndp_ir::IrError) -> Self {
+        NkvError::Config(e.to_string())
+    }
+}

@@ -1,0 +1,924 @@
+//! The hybrid NDP execution engine.
+//!
+//! "For both operations the execution is implemented in a hybrid way,
+//! where the software executes a very general algorithm and exploits the
+//! hardware whenever datablocks have to be filtered or transformed"
+//! (paper, Sec. V). This module implements that firmware algorithm for
+//! GET and SCAN against the simulated platform:
+//!
+//! * **Software mode** runs the shared byte-level oracle on the ARM core
+//!   (with the calibrated per-byte cost);
+//! * **Hardware mode** stages blocks in DRAM and dispatches them to the
+//!   PEs through the *generated driver* (`ndp-swgen`), charging the
+//!   register-access configuration overhead that makes GET not profit
+//!   from acceleration.
+//!
+//! Hardware filtering supports two fidelities: `cycle_accurate` drives
+//! the full tick-level PE model through the driver for every block;
+//! the fast path computes identical results with the byte oracle and the
+//! *validated* analytic cycle estimator (`ndp_pe::estimate_block_cycles`).
+//! Tests assert both fidelities agree on results, counts and (within
+//! tolerance) time.
+//!
+//! SCAN correctness over a multi-version LSM uses *post-filter
+//! reconciliation*: every component is scanned and filtered
+//! independently (that is what the PEs can do), then a matched record is
+//! dropped iff any strictly newer component contains or tombstones its
+//! key — checked against memtable, tombstone lists and per-SST bloom
+//! filters, with a confirming block read on bloom hits. The result
+//! equals "newest version, if it matches the predicate".
+
+use crate::error::NkvResult;
+use crate::lsm::LsmTree;
+use crate::memtable::Entry;
+use crate::sst::{read_block, search_block, SstMeta};
+use cosmos_sim::dram::DramClient;
+use cosmos_sim::{timing, CosmosPlatform, Server, SimNs};
+use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
+use ndp_pe::pipeline::estimate_block_cycles;
+use ndp_pe::{MemBus, PeDevice};
+use ndp_swgen::{DriverProfile, FilterJob, PeDriver};
+
+/// Where filtering runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// ARM software NDP (the paper's "SW" bars).
+    Software,
+    /// FPGA PEs through the generated interface (the "HW" bars).
+    Hardware,
+}
+
+/// Simulated-time and traffic report of one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Simulated duration of the operation in nanoseconds.
+    pub sim_ns: SimNs,
+    /// Data blocks read from flash.
+    pub blocks: u64,
+    /// Bytes of table data scanned.
+    pub bytes_scanned: u64,
+    /// Result payload bytes.
+    pub result_bytes: u64,
+    /// Tuples inspected / passed.
+    pub tuples_in: u64,
+    pub tuples_out: u64,
+    /// PE control-register traffic.
+    pub reg_writes: u64,
+    pub reg_reads: u64,
+    /// Extra block reads spent confirming bloom-filter hits during the
+    /// scan shadow check.
+    pub shadow_confirm_reads: u64,
+}
+
+/// Memory-bus adapter exposing the platform DRAM to PE devices.
+pub struct DramBus<'a>(pub &'a mut cosmos_sim::Dram);
+
+impl MemBus for DramBus<'_> {
+    fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.0.read(addr, buf);
+    }
+
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.0.write(addr, data);
+    }
+}
+
+/// Per-driver DRAM staging layout: input buffer then output buffer.
+const STAGE_STRIDE: u64 = 256 * 1024;
+const STAGE_OUT_OFF: u64 = 128 * 1024;
+
+/// Execution state for one table's PEs.
+pub struct TableExec {
+    /// The table's precompiled functional semantics.
+    pub processor: BlockProcessor,
+    /// Operator dispatch table.
+    pub ops: OpTable,
+    /// PE drivers (one per attached PE; blocks round-robin over them).
+    pub drivers: Vec<PeDriver<Box<dyn PeDevice>>>,
+    /// Per-PE timing servers (a PE can only process one block at a time).
+    pub pe_servers: Vec<Server>,
+    /// Register protocol in use.
+    pub profile: DriverProfile,
+    /// Filtering stages the PEs provide.
+    pub stages: u32,
+    /// Drive the tick-level PE model instead of the fast path.
+    pub cycle_accurate: bool,
+    /// Full-block payload size (whole records per 32 KiB block).
+    pub full_block_payload: u32,
+    /// Chunk (block) size in bytes.
+    pub chunk_bytes: u32,
+    /// Run the post-filter shadow check. Disabled for multi-record-key
+    /// (duplicate-key) tables, where a key match in a newer component
+    /// does not imply version shadowing.
+    pub reconcile: bool,
+    /// Aggregation reductions the attached PEs were generated with.
+    pub aggregates: Vec<ndp_ir::AggOp>,
+}
+
+impl TableExec {
+    fn cfg_io(&self, first_block: bool, rules: usize) -> (u64, u64) {
+        // Mirrors the PeDriver protocol: rule registers are written once
+        // per scan (cached), addresses/len/start per block.
+        let per_rule = match self.profile {
+            DriverProfile::Generated => 4,
+            DriverProfile::Baseline => 3,
+        };
+        let nop_fills = (self.stages as usize).saturating_sub(rules) as u64;
+        let rule_writes = if first_block { per_rule * rules as u64 + nop_fills } else { 0 };
+        match self.profile {
+            DriverProfile::Generated => (rule_writes + timing::OURS_CFG_WRITES, timing::OURS_CFG_READS),
+            DriverProfile::Baseline => (rule_writes + timing::BASE_CFG_WRITES, timing::BASE_CFG_READS),
+        }
+    }
+}
+
+/// One block's worth of hardware filtering (shared by GET and SCAN).
+/// Returns `(results, tuples_in, tuples_out, pe_cycles, io_writes,
+/// io_reads, bytes_written)`.
+#[allow(clippy::too_many_arguments)]
+fn hw_filter_block(
+    exec: &mut TableExec,
+    dram: &mut cosmos_sim::Dram,
+    data: &[u8],
+    rules: &[FilterRule],
+    driver_idx: usize,
+    first_block: bool,
+    out: &mut Vec<u8>,
+) -> (u64, u64, u64, u64, u64, u64) {
+    if exec.cycle_accurate {
+        let in_addr = driver_idx as u64 * STAGE_STRIDE;
+        let out_addr = in_addr + STAGE_OUT_OFF;
+        dram.write(in_addr, data);
+        let drv = &mut exec.drivers[driver_idx];
+        if first_block {
+            drv.invalidate_config_cache();
+        }
+        let job = FilterJob {
+            src: in_addr,
+            len: data.len() as u32,
+            dst: out_addr,
+            capacity: (STAGE_STRIDE - STAGE_OUT_OFF) as u32,
+            rules: rules.to_vec(),
+            aggregate: None,
+        };
+        let res = drv.filter_sync(&mut DramBus(dram), &job);
+        let start = out.len();
+        out.resize(start + res.result_bytes as usize, 0);
+        dram.read(out_addr, &mut out[start..]);
+        (
+            u64::from(res.block.tuples_in),
+            u64::from(res.tuples_out),
+            res.block.cycles,
+            res.io.reg_writes,
+            res.io.reg_reads,
+            u64::from(res.block.bytes_written),
+        )
+    } else {
+        let stats = exec.processor.process_block(data, rules, &exec.ops, out);
+        let bytes_written = match exec.profile {
+            // The fixed-block baseline always writes whole blocks back.
+            DriverProfile::Baseline => u64::from(exec.chunk_bytes),
+            DriverProfile::Generated => u64::from(stats.bytes_out),
+        };
+        let cycles = estimate_block_cycles(
+            data.len() as u64,
+            u64::from(stats.tuples_in),
+            bytes_written,
+            exec.stages,
+        );
+        let (w, r) = exec.cfg_io(first_block, rules.len());
+        (u64::from(stats.tuples_in), u64::from(stats.tuples_out), cycles, w, r, bytes_written)
+    }
+}
+
+/// Full-table SCAN with a filter-rule chain.
+///
+/// Returns the matched (and reconciled) records plus the report. `now`
+/// is the operation start time on the platform clock.
+pub fn scan(
+    platform: &mut CosmosPlatform,
+    lsm: &LsmTree,
+    exec: &mut TableExec,
+    rules: &[FilterRule],
+    mode: ExecMode,
+    now: SimNs,
+) -> NkvResult<(Vec<u8>, SimReport)> {
+    let mut report = SimReport::default();
+    let mut results: Vec<u8> = Vec::new();
+    let mut matched_keys: Vec<(u64, usize, usize)> = Vec::new(); // (key, rank, result offset)
+    let record_bytes = lsm.record_bytes();
+    let start = now + platform.firmware.op_overhead_ns();
+    let mut op_end = start;
+    // Filter rules are written once per PE (the drivers cache them).
+    let mut configured = vec![false; exec.pe_servers.len().max(1)];
+
+    // --- C0: the memtable participates in every scan (ARM-side); its
+    // matches go through the same transformation as the PE path.
+    for (key, entry) in lsm.memtable().iter() {
+        if let Entry::Value(rec) = entry {
+            report.tuples_in += 1;
+            if exec.processor.tuple_passes(rec, rules, &exec.ops) {
+                matched_keys.push((key, 0, results.len()));
+                exec.processor.transform_into(rec, &mut results);
+                report.tuples_out += 1;
+            }
+        }
+    }
+    let (_, t) = platform.arm.schedule(
+        start,
+        timing::ARM_MEMTABLE_PROBE_NS
+            + lsm.memtable().len() as u64 * timing::ARM_FILTER_PS_PER_BYTE * record_bytes as u64
+                / 1000,
+    );
+    op_end = op_end.max(t);
+
+    // --- Persistent components: filter every data block.
+    let ssts: Vec<SstMeta> = lsm.all_ssts().into_iter().cloned().collect();
+    let mut driver_rr = 0usize;
+    for (rank, sst) in ssts.iter().enumerate() {
+        let rank = rank + 1; // memtable is rank 0
+        for bi in 0..sst.blocks.len() {
+            // Flash read: issued at `start` (the firmware queues reads
+            // across channels); the flash model serializes per resource.
+            let (flash_done, data) = read_block(&mut platform.flash, sst, bi, start)?;
+            report.blocks += 1;
+            report.bytes_scanned += data.len() as u64;
+            // Stage into DRAM.
+            let staged = platform.dram.timed_transfer(
+                DramClient::FlashDma,
+                data.len() as u64,
+                flash_done,
+            );
+
+            let before = results.len();
+            let done = match mode {
+                ExecMode::Software => {
+                    let stats =
+                        exec.processor.process_block(&data, rules, &exec.ops, &mut results);
+                    report.tuples_in += u64::from(stats.tuples_in);
+                    report.tuples_out += u64::from(stats.tuples_out);
+                    let (_, t) =
+                        platform.arm.schedule(staged, platform.arm_filter_ns(data.len() as u64));
+                    t
+                }
+                ExecMode::Hardware => {
+                    // The fixed-block baseline cannot express partial
+                    // blocks; its firmware handles the tail block in
+                    // software (see DESIGN.md).
+                    let partial = (data.len() as u32) < exec.full_block_payload;
+                    if exec.profile == DriverProfile::Baseline && partial {
+                        let stats =
+                            exec.processor.process_block(&data, rules, &exec.ops, &mut results);
+                        report.tuples_in += u64::from(stats.tuples_in);
+                        report.tuples_out += u64::from(stats.tuples_out);
+                        let (_, t) = platform
+                            .arm
+                            .schedule(staged, platform.arm_filter_ns(data.len() as u64));
+                        t
+                    } else {
+                        let d = driver_rr % exec.pe_servers.len().max(1);
+                        driver_rr += 1;
+                        let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
+                            exec,
+                            &mut platform.dram,
+                            &data,
+                            rules,
+                            d,
+                            !configured[d],
+                            &mut results,
+                        );
+                        configured[d] = true;
+                        report.tuples_in += tin;
+                        report.tuples_out += tout;
+                        report.reg_writes += w;
+                        report.reg_reads += r;
+                        // ARM configures the PE (register writes), then the
+                        // PE streams the block.
+                        let cfg_ns = platform
+                            .mmio_cost_ns(w, r);
+                        let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                        let (_, pe_done) =
+                            exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                        // PE load + store traffic on the shared DRAM port.
+                        let _ = platform.dram.timed_transfer(
+                            DramClient::PeLoad,
+                            data.len() as u64,
+                            cfg_done,
+                        );
+                        platform.dram.timed_transfer(
+                            DramClient::PeStore,
+                            bytes_written,
+                            pe_done,
+                        )
+                    }
+                }
+            };
+            op_end = op_end.max(done);
+            // Remember matched keys for reconciliation.
+            let mut off = before;
+            while off < results.len() {
+                let key = u64::from_le_bytes(results[off..off + 8].try_into().unwrap());
+                matched_keys.push((key, rank, off));
+                off += exec.processor.out_tuple_bytes();
+            }
+        }
+    }
+
+    // --- Post-filter reconciliation (shadow check).
+    let mut keep = vec![true; matched_keys.len()];
+    for (i, &(key, rank, _)) in matched_keys.iter().enumerate() {
+        if !exec.reconcile || rank == 0 {
+            continue; // memtable is always newest
+        }
+        if lsm.memtable_get(key).is_some() {
+            keep[i] = false;
+            continue;
+        }
+        for newer in lsm.ssts_newer_than(rank - 1) {
+            if newer.is_tombstoned(key) {
+                keep[i] = false;
+                break;
+            }
+            if newer.may_contain(key) {
+                // Bloom hit: confirm with a block read.
+                if let Some(bi) = newer.block_for(key) {
+                    let (t, data) = read_block(&mut platform.flash, newer, bi, op_end)?;
+                    report.shadow_confirm_reads += 1;
+                    op_end = op_end.max(t);
+                    if search_block(&data, record_bytes, key).is_some() {
+                        keep[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let out_bytes = exec.processor.out_tuple_bytes();
+    let mut reconciled = Vec::with_capacity(results.len());
+    for (i, &(_, _rank, off)) in matched_keys.iter().enumerate() {
+        if keep[i] {
+            reconciled.extend_from_slice(&results[off..off + out_bytes]);
+        }
+    }
+    report.tuples_out = keep.iter().filter(|&&k| k).count() as u64;
+
+    // --- Host transfer of the result set over NVMe.
+    let (_, host_done) = platform.nvme.transfer(op_end, reconciled.len() as u64);
+    op_end = host_done;
+
+    report.result_bytes = reconciled.len() as u64;
+    report.sim_ns = op_end - now;
+    Ok((reconciled, report))
+}
+
+/// Aggregate SCAN: compute one reduction over every record matching the
+/// predicate chain, entirely on the device — only the 64-bit accumulator
+/// crosses the NVMe link (the paper's outlook on compute-intensive NDP
+/// realized: results "much smaller in size than the input data").
+///
+/// Assumes single-version data (bulk-loaded/compacted tables): a running
+/// reduction cannot be reconciled against shadowed versions after the
+/// fact, so the caller is responsible for compacting first (checked only
+/// by convention; the unit tests cover the supported shape).
+pub fn scan_aggregate(
+    platform: &mut CosmosPlatform,
+    lsm: &LsmTree,
+    exec: &mut TableExec,
+    rules: &[FilterRule],
+    agg: ndp_ir::AggOp,
+    lane: u32,
+    mode: ExecMode,
+    now: SimNs,
+) -> NkvResult<(u64, bool, SimReport)> {
+    let mut report = SimReport::default();
+    let start = now + platform.firmware.op_overhead_ns();
+    let mut op_end = start;
+    let mut acc = crate::oracle_acc(&exec.processor, agg, lane)
+        .ok_or_else(|| crate::error::NkvError::InvalidLane {
+            table: "<aggregate>".into(),
+            lane,
+        })?;
+
+    // Memtable contribution (ARM-side, like scan()).
+    for (_, entry) in lsm.memtable().iter() {
+        if let Entry::Value(rec) = entry {
+            report.tuples_in += 1;
+            if exec.processor.tuple_passes(rec, rules, &exec.ops) {
+                report.tuples_out += 1;
+                if let Some(v) = exec.processor.lane_value(rec, lane) {
+                    acc.update(v);
+                }
+            }
+        }
+    }
+    let (_, t) = platform.arm.schedule(
+        start,
+        timing::ARM_MEMTABLE_PROBE_NS
+            + lsm.memtable().len() as u64
+                * timing::ARM_FILTER_PS_PER_BYTE
+                * lsm.record_bytes() as u64
+                / 1000,
+    );
+    op_end = op_end.max(t);
+
+    let ssts: Vec<SstMeta> = lsm.all_ssts().into_iter().cloned().collect();
+    let mut driver_rr = 0usize;
+    let mut configured = vec![false; exec.pe_servers.len().max(1)];
+    for sst in &ssts {
+        for bi in 0..sst.blocks.len() {
+            let (flash_done, data) = read_block(&mut platform.flash, sst, bi, start)?;
+            report.blocks += 1;
+            report.bytes_scanned += data.len() as u64;
+            let staged = platform.dram.timed_transfer(
+                DramClient::FlashDma,
+                data.len() as u64,
+                flash_done,
+            );
+            let done = match mode {
+                ExecMode::Software => {
+                    for tuple in data.chunks_exact(exec.processor.in_tuple_bytes()) {
+                        report.tuples_in += 1;
+                        if exec.processor.tuple_passes(tuple, rules, &exec.ops) {
+                            report.tuples_out += 1;
+                            if let Some(v) = exec.processor.lane_value(tuple, lane) {
+                                acc.update(v);
+                            }
+                        }
+                    }
+                    let (_, t) =
+                        platform.arm.schedule(staged, platform.arm_filter_ns(data.len() as u64));
+                    t
+                }
+                ExecMode::Hardware => {
+                    let d = driver_rr % exec.pe_servers.len().max(1);
+                    driver_rr += 1;
+                    // Functional result via the shared accumulator; counts
+                    // and timing like the filtering path, but with zero
+                    // result write-back (the aggregate stays in a register).
+                    let mut tin = 0u64;
+                    let mut tout = 0u64;
+                    for tuple in data.chunks_exact(exec.processor.in_tuple_bytes()) {
+                        tin += 1;
+                        if exec.processor.tuple_passes(tuple, rules, &exec.ops) {
+                            tout += 1;
+                            if let Some(v) = exec.processor.lane_value(tuple, lane) {
+                                acc.update(v);
+                            }
+                        }
+                    }
+                    report.tuples_in += tin;
+                    report.tuples_out += tout;
+                    let (mut w, r) = exec.cfg_io(!configured[d], rules.len());
+                    if !configured[d] {
+                        w += 2; // AGG_FIELD + AGG_OP
+                    }
+                    configured[d] = true;
+                    // +2 reads: the 64-bit accumulator halves.
+                    let r = r + 2;
+                    report.reg_writes += w;
+                    report.reg_reads += r;
+                    let cycles = estimate_block_cycles(data.len() as u64, tin, 0, exec.stages);
+                    let cfg_ns = platform.mmio_cost_ns(w, r);
+                    let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                    let (_, pe_done) =
+                        exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                    let _ = platform.dram.timed_transfer(
+                        DramClient::PeLoad,
+                        data.len() as u64,
+                        cfg_done,
+                    );
+                    pe_done
+                }
+            };
+            op_end = op_end.max(done);
+        }
+    }
+
+    // Only the accumulator travels to the host.
+    let (_, host_done) = platform.nvme.transfer(op_end, 8);
+    report.result_bytes = 8;
+    report.sim_ns = host_done - now;
+    Ok((acc.value(), acc.any(), report))
+}
+
+/// Point lookup (GET).
+pub fn get(
+    platform: &mut CosmosPlatform,
+    lsm: &LsmTree,
+    exec: &mut TableExec,
+    key: u64,
+    mode: ExecMode,
+    now: SimNs,
+) -> NkvResult<(Option<Vec<u8>>, SimReport)> {
+    let mut report = SimReport::default();
+    let mut t = now + platform.firmware.op_overhead_ns();
+
+    // C0 probe.
+    let (_, tt) = platform.arm.schedule(t, timing::ARM_MEMTABLE_PROBE_NS);
+    t = tt;
+    match lsm.memtable_get(key) {
+        Some(Entry::Value(v)) => {
+            report.sim_ns = t - now;
+            return Ok((Some(v.clone()), report));
+        }
+        Some(Entry::Tombstone) => {
+            report.sim_ns = t - now;
+            return Ok((None, report));
+        }
+        None => {}
+    }
+
+    // Persistent components: index walk is sequential (the next lookup
+    // target depends on the previous miss).
+    let candidates: Vec<SstMeta> = lsm.candidate_ssts(key).into_iter().cloned().collect();
+    for sst in &candidates {
+        // Index block read + parse on the ARM.
+        if let Some(&page) = sst.index_pages.first() {
+            let (idx_done, _) = platform.flash.read_page(page, t)?;
+            let (_, parsed) = platform.arm.schedule(idx_done, 2_000);
+            t = parsed;
+        }
+        if sst.is_tombstoned(key) {
+            report.sim_ns = t - now;
+            return Ok((None, report));
+        }
+        if !sst.may_contain(key) {
+            continue;
+        }
+        let Some(bi) = sst.block_for(key) else { continue };
+        let (flash_done, data) = read_block(&mut platform.flash, sst, bi, t)?;
+        report.blocks += 1;
+        report.bytes_scanned += data.len() as u64;
+        let staged =
+            platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
+
+        let (found, done) = match mode {
+            ExecMode::Software => {
+                let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+                let (_, done) = platform.arm.schedule(staged, timing::ARM_BLOCK_SEARCH_NS);
+                (rec, done)
+            }
+            ExecMode::Hardware => {
+                // Key-equality filter on the PE; every GET reconfigures
+                // the reference value, so no rule caching applies.
+                let rules =
+                    [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
+                let mut out = Vec::new();
+                let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
+                    exec,
+                    &mut platform.dram,
+                    &data,
+                    &rules,
+                    0,
+                    true,
+                    &mut out,
+                );
+                report.tuples_in += tin;
+                report.tuples_out += tout;
+                report.reg_writes += w;
+                report.reg_reads += r;
+                let cfg_ns = platform.mmio_cost_ns(w, r);
+                let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                let (_, pe_done) =
+                    exec.pe_servers[0].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                let done = platform.dram.timed_transfer(
+                    DramClient::PeStore,
+                    bytes_written,
+                    pe_done,
+                );
+                let rec = (!out.is_empty()).then(|| out[..lsm.record_bytes()].to_vec());
+                (rec, done)
+            }
+        };
+        t = done;
+        if let Some(rec) = found {
+            let (_, host) = platform.nvme.transfer(t, rec.len() as u64);
+            report.sim_ns = host - now;
+            return Ok((Some(rec), report));
+        }
+    }
+    report.sim_ns = t - now;
+    Ok((None, report))
+}
+
+/// The `eq` operator code of a table's op set (always present in the
+/// standard set; panics if a custom-only set removed it).
+fn eq_code(_ops: &OpTable) -> u32 {
+    // The standard encoding from ndp-ir: nop=0, ne=1, eq=2.
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsm::LsmConfig;
+    use crate::placement::PageAllocator;
+    use cosmos_sim::CosmosConfig;
+    use ndp_ir::elaborate;
+    use ndp_pe::{BaselinePe, PeSim};
+    use ndp_spec::parse;
+    use ndp_workload::spec::{ref_lanes, PAPER_REF_SPEC, REF_PE};
+    use ndp_workload::{PubGraphConfig, Ref, RefGen};
+
+    fn make_exec(n_pes: usize, baseline: bool, cycle_accurate: bool) -> TableExec {
+        let m = parse(PAPER_REF_SPEC).unwrap();
+        let cfg = elaborate(&m, REF_PE).unwrap();
+        let processor = BlockProcessor::new(&cfg);
+        let ops = OpTable::from_config(&cfg);
+        let full_block_payload = (cfg.chunk_bytes / 20) * 20;
+        let mut drivers: Vec<PeDriver<Box<dyn PeDevice>>> = Vec::new();
+        for _ in 0..n_pes {
+            let dev: Box<dyn PeDevice> = if baseline {
+                Box::new(BaselinePe::new(cfg.clone()).unwrap())
+            } else {
+                Box::new(PeSim::new(cfg.clone()))
+            };
+            drivers.push(PeDriver::new(
+                dev,
+                if baseline { DriverProfile::Baseline } else { DriverProfile::Generated },
+            ));
+        }
+        TableExec {
+            processor,
+            ops,
+            drivers,
+            pe_servers: vec![Server::new(); n_pes],
+            profile: if baseline { DriverProfile::Baseline } else { DriverProfile::Generated },
+            stages: cfg.stages,
+            cycle_accurate,
+            full_block_payload,
+            chunk_bytes: cfg.chunk_bytes,
+            reconcile: true,
+            aggregates: cfg.aggregates.clone(),
+        }
+    }
+
+    /// Load refs with unique `src` fields (the record key must be its
+    /// first 8 bytes); returns the tree and the load-completion time.
+    fn loaded_lsm(
+        platform: &mut CosmosPlatform,
+        alloc: &mut PageAllocator,
+        n_refs: u64,
+    ) -> (LsmTree, u64) {
+        let mut lsm = LsmTree::new("refs", 20, LsmConfig::default(), 3);
+        let cfg = PubGraphConfig { papers: n_refs / 10 + 1, refs: n_refs, seed: 11 };
+        let mut buf = Vec::new();
+        let mut done = 0u64;
+        for (i, mut r) in RefGen::new(cfg).enumerate() {
+            r.src = i as u64 + 1; // unique key in the record's first field
+            buf.clear();
+            r.encode_into(&mut buf);
+            lsm.put(r.src, buf.clone());
+            if lsm.should_flush() {
+                done = done.max(lsm.flush(&mut platform.flash, alloc, 0).unwrap());
+            }
+        }
+        done = done.max(lsm.flush(&mut platform.flash, alloc, 0).unwrap());
+        (lsm, done)
+    }
+
+    fn scan_year_rules(exec: &TableExec, year: u64) -> Vec<FilterRule> {
+        let _ = exec;
+        vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4 /* ge */, value: year }]
+    }
+
+    #[test]
+    fn sw_and_hw_scans_return_identical_results() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 5_000);
+        let mut exec = make_exec(2, false, false);
+        let rules = scan_year_rules(&exec, 2000);
+
+        let (sw, rep_sw) =
+            scan(&mut platform, &lsm, &mut exec, &rules, ExecMode::Software, t0).unwrap();
+        let (hw, rep_hw) =
+            scan(&mut platform, &lsm, &mut exec, &rules, ExecMode::Hardware, t0 + rep_sw.sim_ns)
+                .unwrap();
+        assert_eq!(sw, hw);
+        assert!(!sw.is_empty());
+        assert_eq!(rep_sw.tuples_out, rep_hw.tuples_out);
+        // Every result record satisfies the predicate.
+        for rec in sw.chunks_exact(20) {
+            assert!(Ref::decode(rec).year >= 2000);
+        }
+    }
+
+    #[test]
+    fn hw_scan_is_faster_than_sw_scan() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 20_000);
+        let mut exec = make_exec(4, false, false);
+        let rules = scan_year_rules(&exec, 1990);
+
+        let mut p1 = CosmosPlatform::new(CosmosConfig::default());
+        p1.flash = platform.flash.clone();
+        let (_, sw) = scan(&mut p1, &lsm, &mut exec, &rules, ExecMode::Software, t0).unwrap();
+        let mut p2 = CosmosPlatform::new(CosmosConfig::default());
+        p2.flash = platform.flash.clone();
+        let (_, hw) = scan(&mut p2, &lsm, &mut exec, &rules, ExecMode::Hardware, t0).unwrap();
+        assert!(
+            hw.sim_ns < sw.sim_ns,
+            "HW {} ns should beat SW {} ns",
+            hw.sim_ns,
+            sw.sim_ns
+        );
+    }
+
+    #[test]
+    fn cycle_accurate_and_fast_hw_agree() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 3_000);
+        let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 1995 }];
+
+        let mut fast = make_exec(2, false, false);
+        let mut acc = make_exec(2, false, true);
+        let mut p1 = CosmosPlatform::new(CosmosConfig::default());
+        p1.flash = platform.flash.clone();
+        let (r_fast, rep_fast) =
+            scan(&mut p1, &lsm, &mut fast, &rules, ExecMode::Hardware, t0).unwrap();
+        let mut p2 = CosmosPlatform::new(CosmosConfig::default());
+        p2.flash = platform.flash.clone();
+        let (r_acc, rep_acc) =
+            scan(&mut p2, &lsm, &mut acc, &rules, ExecMode::Hardware, t0).unwrap();
+
+        assert_eq!(r_fast, r_acc, "functional results must be identical");
+        assert_eq!(rep_fast.tuples_in, rep_acc.tuples_in);
+        assert_eq!(rep_fast.tuples_out, rep_acc.tuples_out);
+        assert_eq!(rep_fast.reg_writes, rep_acc.reg_writes);
+        assert_eq!(rep_fast.reg_reads, rep_acc.reg_reads);
+        let dt = rep_fast.sim_ns.abs_diff(rep_acc.sim_ns) as f64;
+        assert!(
+            dt / (rep_acc.sim_ns as f64) < 0.05,
+            "fast {} vs accurate {}",
+            rep_fast.sim_ns,
+            rep_acc.sim_ns
+        );
+    }
+
+    #[test]
+    fn baseline_hw_matches_generated_results_with_more_write_traffic() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 8_000);
+        let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 2000 }];
+
+        let mut ours = make_exec(2, false, false);
+        let mut base = make_exec(2, true, false);
+        let mut p1 = CosmosPlatform::new(CosmosConfig::default());
+        p1.flash = platform.flash.clone();
+        let (r1, _) = scan(&mut p1, &lsm, &mut ours, &rules, ExecMode::Hardware, t0).unwrap();
+        let pe_store_ours = p1.dram.traffic_of(DramClient::PeStore);
+        let mut p2 = CosmosPlatform::new(CosmosConfig::default());
+        p2.flash = platform.flash.clone();
+        let (r2, _) = scan(&mut p2, &lsm, &mut base, &rules, ExecMode::Hardware, t0).unwrap();
+        let pe_store_base = p2.dram.traffic_of(DramClient::PeStore);
+
+        assert_eq!(r1, r2);
+        assert!(
+            pe_store_base > pe_store_ours,
+            "fixed 32 KiB write-back must cause more DRAM traffic \
+             ({pe_store_base} vs {pe_store_ours})"
+        );
+    }
+
+    #[test]
+    fn scan_reconciles_shadowed_versions() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let mut lsm = LsmTree::new("refs", 20, LsmConfig::default(), 3);
+        // Old version of key 100 matches the predicate... (the record's
+        // first field IS the key, per the nKV record model)
+        let old = Ref { src: 100, dst: 1, year: 2010 };
+        let mut buf = Vec::new();
+        old.encode_into(&mut buf);
+        lsm.put(old.src, buf.clone());
+        lsm.flush(&mut platform.flash, &mut alloc, 0).unwrap();
+        // ... the newer version does NOT match.
+        let newer = Ref { src: 100, dst: 1, year: 1960 };
+        buf.clear();
+        newer.encode_into(&mut buf);
+        lsm.put(newer.src, buf.clone());
+        lsm.flush(&mut platform.flash, &mut alloc, 0).unwrap();
+        // And key 200's newest version matches.
+        let live = Ref { src: 200, dst: 2, year: 2015 };
+        buf.clear();
+        live.encode_into(&mut buf);
+        lsm.put(live.src, buf.clone());
+        lsm.flush(&mut platform.flash, &mut alloc, 0).unwrap();
+
+        let mut exec = make_exec(1, false, false);
+        let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 2000 }];
+        let (res, rep) =
+            scan(&mut platform, &lsm, &mut exec, &rules, ExecMode::Software, 0).unwrap();
+        // Only key 200's record: key 100's matching version is shadowed.
+        assert_eq!(res.len(), 20);
+        assert_eq!(Ref::decode(&res).year, 2015);
+        assert_eq!(rep.tuples_out, 1);
+        assert!(rep.shadow_confirm_reads > 0, "bloom hit on key 100 must be confirmed");
+    }
+
+    #[test]
+    fn scan_includes_memtable_and_respects_its_tombstones() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let mut lsm = LsmTree::new("refs", 20, LsmConfig::default(), 3);
+        let mut buf = Vec::new();
+        Ref { src: 1, dst: 9, year: 2005 }.encode_into(&mut buf);
+        lsm.put(1, buf.clone());
+        lsm.flush(&mut platform.flash, &mut alloc, 0).unwrap();
+        // Unflushed matching record in the memtable...
+        buf.clear();
+        Ref { src: 2, dst: 9, year: 2012 }.encode_into(&mut buf);
+        lsm.put(2, buf.clone());
+        // ... and delete the flushed one.
+        lsm.delete(1);
+
+        let mut exec = make_exec(1, false, false);
+        let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 2000 }];
+        let (res, _) =
+            scan(&mut platform, &lsm, &mut exec, &rules, ExecMode::Software, 0).unwrap();
+        assert_eq!(res.len(), 20);
+        assert_eq!(Ref::decode(&res).year, 2012);
+    }
+
+    #[test]
+    fn get_finds_and_misses_in_both_modes() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 5_000);
+        let mut exec = make_exec(1, false, false);
+        // Pick an existing key from the data.
+        let sst = &lsm.all_ssts()[0];
+        let key = sst.blocks[0].first_key;
+        let (sw, rep_sw) =
+            get(&mut platform, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
+        let (hw, rep_hw) = get(
+            &mut platform,
+            &lsm,
+            &mut exec,
+            key,
+            ExecMode::Hardware,
+            t0 + rep_sw.sim_ns,
+        )
+        .unwrap();
+        assert!(sw.is_some());
+        assert_eq!(sw, hw);
+        assert!(rep_sw.sim_ns > 0 && rep_hw.sim_ns > 0);
+
+        let (miss, _) =
+            get(&mut platform, &lsm, &mut exec, u64::MAX - 1, ExecMode::Software, t0).unwrap();
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn get_hw_does_not_profit_over_sw() {
+        // Fig. 7(a): configuration overhead eats the PE's advantage.
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 20_000);
+        let sst = &lsm.all_ssts()[0];
+        let key = sst.blocks[1].first_key;
+
+        let mut exec = make_exec(1, false, false);
+        let mut p1 = CosmosPlatform::new(CosmosConfig::default());
+        p1.flash = platform.flash.clone();
+        let (_, sw) = get(&mut p1, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
+        let mut p2 = CosmosPlatform::new(CosmosConfig::default());
+        p2.flash = platform.flash.clone();
+        let (_, hw) = get(&mut p2, &lsm, &mut exec, key, ExecMode::Hardware, t0).unwrap();
+        let ratio = hw.sim_ns as f64 / sw.sim_ns as f64;
+        assert!(
+            (0.8..1.5).contains(&ratio),
+            "GET HW/SW ratio {ratio:.2} should be near 1 (no real benefit)"
+        );
+    }
+
+    #[test]
+    fn firmware_era_adds_op_overhead() {
+        let mut loaded = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(loaded.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut loaded, &mut alloc, 5_000);
+        let mut original = CosmosPlatform::new(CosmosConfig {
+            firmware: cosmos_sim::FirmwareEra::Original,
+            ..CosmosConfig::default()
+        });
+        original.flash = loaded.flash.clone();
+        let mut updated = CosmosPlatform::new(CosmosConfig::default());
+        updated.flash = loaded.flash.clone();
+        let sst = &lsm.all_ssts()[0];
+        let key = sst.blocks[0].first_key;
+        let mut exec = make_exec(1, false, false);
+        let (_, rep_orig) =
+            get(&mut original, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
+        let (_, rep_upd) =
+            get(&mut updated, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
+        assert_eq!(
+            rep_upd.sim_ns - rep_orig.sim_ns,
+            timing::FIRMWARE_OP_OVERHEAD_NS,
+            "updated firmware charges exactly the per-op overhead"
+        );
+    }
+}

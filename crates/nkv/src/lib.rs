@@ -1,0 +1,59 @@
+//! nKV: a key-value store with native computational storage.
+//!
+//! This crate reimplements the nKV architecture of Vinçon et al. \[1\]
+//! that the paper's generated accelerators plug into (Sec. III):
+//! an LSM-tree KV-store that removes the file-system/block layers and
+//! operates *directly on physical flash addresses*, with on-device format
+//! parsers so GET and SCAN run in-situ — in software on the ARM cores, or
+//! in hardware on the generated PEs, in the hybrid style of the paper's
+//! evaluation ("the software executes a very general algorithm and
+//! exploits the hardware whenever datablocks have to be filtered or
+//! transformed").
+//!
+//! Structure:
+//!
+//! * [`memtable`] — the in-memory component `C0` (skip-list);
+//! * [`sst`] — Sorted String Tables: 32 KiB data blocks of fixed-size
+//!   records in key order, CRC-protected, plus index metadata and a
+//!   bloom filter per table;
+//! * [`placement`] — physical page allocation across flash
+//!   channels/LUNs (nKV controls placement for parallelism and keeps
+//!   LSM components apart so compaction does not block scans);
+//! * [`lsm`] — levels `C1..Ck`, flush (no compaction on `C0→C1`,
+//!   matching the paper), leveled compaction with tombstone purging;
+//! * [`exec`] — the hybrid NDP executor: block-parallel SCAN/GET over
+//!   flash channels with software (ARM) or hardware (PE) filtering,
+//!   returning both results and simulated device time;
+//! * [`db`] — the [`db::NkvDb`] facade with PUT/GET/DELETE/SCAN/
+//!   RANGE_SCAN over multiple tables;
+//! * [`recovery`] — manifest + index-block based state reconstruction
+//!   after a power cycle (all accessor state lives on the device).
+//!
+//! Records are fixed-size application structs (the tuples the PEs parse);
+//! the first 8 bytes of every record are its little-endian `u64` key.
+//! This *is* the nKV model: the store understands application formats
+//! natively instead of wrapping them in opaque blobs.
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod lsm;
+pub mod memtable;
+pub mod placement;
+pub mod recovery;
+pub mod sst;
+pub mod util;
+
+pub use db::{NkvDb, ScanSummary, TableConfig};
+pub use error::{NkvError, NkvResult};
+pub use exec::{ExecMode, SimReport};
+
+/// Build an aggregation accumulator for a table's processor (thin
+/// re-export so `exec` and `db` share one constructor).
+pub(crate) fn oracle_acc(
+    bp: &ndp_pe::oracle::BlockProcessor,
+    op: ndp_ir::AggOp,
+    lane: u32,
+) -> Option<ndp_pe::oracle::AggAccumulator> {
+    ndp_pe::oracle::AggAccumulator::new(bp, op, lane)
+}

@@ -1,0 +1,567 @@
+//! Sorted String Tables on physical flash.
+//!
+//! Each SST consists of key-sorted **data blocks** (32 KiB, whole
+//! fixed-size records, CRC-32C protected) plus an **index block**
+//! (paper, Sec. III-A: "Each SST in turn is composed by an index block
+//! and a number of data blocks"). The index — block key ranges, physical
+//! page addresses, a bloom filter and the tombstone list — is serialized
+//! to flash pages and also kept in memory as the device-resident accessor
+//! state that nKV's native computational storage maintains.
+//!
+//! Data blocks are exactly what the PEs consume: a dense array of packed
+//! tuples, no headers, no record framing — the format-awareness lives in
+//! the generated accessors, not in per-record envelopes.
+
+use crate::error::{NkvError, NkvResult};
+use crate::placement::PageAllocator;
+use crate::util::{crc32c, Bloom};
+use cosmos_sim::{FlashArray, PhysAddr, SimNs};
+
+/// Metadata of one data block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    pub first_key: u64,
+    pub last_key: u64,
+    /// Physical pages holding this block, in order.
+    pub pages: Vec<PhysAddr>,
+    /// Payload bytes (whole records; the rest of the block is padding).
+    pub bytes: u32,
+    /// CRC-32C over the payload.
+    pub crc: u32,
+}
+
+/// In-memory (and flash-serialized) SST metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SstMeta {
+    pub id: u64,
+    pub level: usize,
+    pub record_bytes: usize,
+    pub n_records: u64,
+    pub min_key: u64,
+    pub max_key: u64,
+    pub blocks: Vec<BlockMeta>,
+    /// Pages of the serialized index block.
+    pub index_pages: Vec<PhysAddr>,
+    pub bloom: Bloom,
+    /// Deleted keys this SST shadows (sorted).
+    pub tombstones: Vec<u64>,
+}
+
+impl SstMeta {
+    /// Might this SST contain `key`? (range + bloom check)
+    pub fn may_contain(&self, key: u64) -> bool {
+        if self.n_records == 0 && self.tombstones.is_empty() {
+            return false;
+        }
+        key >= self.min_key && key <= self.max_key && self.bloom.may_contain(key)
+    }
+
+    /// Is `key` tombstoned by this SST?
+    pub fn is_tombstoned(&self, key: u64) -> bool {
+        self.tombstones.binary_search(&key).is_ok()
+    }
+
+    /// Index of the data block whose range covers `key`, if any.
+    pub fn block_for(&self, key: u64) -> Option<usize> {
+        let idx = self.blocks.partition_point(|b| b.last_key < key);
+        (idx < self.blocks.len() && self.blocks[idx].first_key <= key).then_some(idx)
+    }
+
+    /// Total payload bytes across data blocks.
+    pub fn data_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.bytes)).sum()
+    }
+}
+
+/// Builds one SST from strictly ascending records.
+pub struct SstBuilder {
+    id: u64,
+    level: usize,
+    record_bytes: usize,
+    block_bytes: usize,
+    table: String,
+    current: Vec<u8>,
+    current_first: u64,
+    current_last: u64,
+    blocks_data: Vec<(Vec<u8>, u64, u64)>,
+    last_key: Option<u64>,
+    n_records: u64,
+    keys: Vec<u64>,
+    tombstones: Vec<u64>,
+    allow_duplicates: bool,
+}
+
+impl SstBuilder {
+    /// Start building SST `id` at `level` for `record_bytes`-sized
+    /// records in `block_bytes` blocks (32 KiB in the paper).
+    pub fn new(id: u64, level: usize, record_bytes: usize, block_bytes: usize, table: &str) -> Self {
+        assert!(record_bytes >= 8, "records start with a u64 key");
+        assert!(block_bytes >= record_bytes);
+        Self {
+            id,
+            level,
+            record_bytes,
+            block_bytes,
+            table: table.to_string(),
+            current: Vec::with_capacity(block_bytes),
+            current_first: 0,
+            current_last: 0,
+            blocks_data: Vec::new(),
+            last_key: None,
+            n_records: 0,
+            keys: Vec::new(),
+            tombstones: Vec::new(),
+            allow_duplicates: false,
+        }
+    }
+
+    /// Allow non-decreasing (rather than strictly ascending) keys:
+    /// multi-record tables such as edge lists store several records per
+    /// key (lookups then return the first match; see `nkv::db` docs).
+    pub fn allow_duplicate_keys(mut self) -> Self {
+        self.allow_duplicates = true;
+        self
+    }
+
+    /// Records that fit one block (whole records only).
+    pub fn records_per_block(&self) -> usize {
+        self.block_bytes / self.record_bytes
+    }
+
+    /// Append one record; keys must be strictly ascending.
+    pub fn add_record(&mut self, key: u64, record: &[u8]) -> NkvResult<()> {
+        if record.len() != self.record_bytes {
+            return Err(NkvError::RecordSizeMismatch {
+                table: self.table.clone(),
+                expected: self.record_bytes,
+                got: record.len(),
+            });
+        }
+        if let Some(prev) = self.last_key {
+            let unsorted = if self.allow_duplicates { key < prev } else { key <= prev };
+            if unsorted {
+                return Err(NkvError::UnsortedBulkLoad {
+                    table: self.table.clone(),
+                    prev,
+                    next: key,
+                });
+            }
+        }
+        self.last_key = Some(key);
+        if self.current.is_empty() {
+            self.current_first = key;
+        }
+        self.current.extend_from_slice(record);
+        self.current_last = key;
+        self.n_records += 1;
+        self.keys.push(key);
+        if self.current.len() + self.record_bytes > self.block_bytes {
+            self.seal_block();
+        }
+        Ok(())
+    }
+
+    /// Record a deletion this SST shadows.
+    pub fn add_tombstone(&mut self, key: u64) {
+        self.tombstones.push(key);
+        self.keys.push(key);
+    }
+
+    fn seal_block(&mut self) {
+        let data = std::mem::take(&mut self.current);
+        self.blocks_data.push((data, self.current_first, self.current_last));
+    }
+
+    /// Write all blocks and the index to flash; returns the metadata and
+    /// the simulated completion time.
+    pub fn finish(
+        mut self,
+        flash: &mut FlashArray,
+        alloc: &mut PageAllocator,
+        now: SimNs,
+    ) -> NkvResult<(SstMeta, SimNs)> {
+        if !self.current.is_empty() {
+            self.seal_block();
+        }
+        self.tombstones.sort_unstable();
+        self.tombstones.dedup();
+
+        let page_bytes = flash.config().page_bytes as usize;
+        let mut done = now;
+        let mut blocks = Vec::with_capacity(self.blocks_data.len());
+        let mut bloom = Bloom::new(self.keys.len().max(1), 10);
+        for &k in &self.keys {
+            bloom.insert(k);
+        }
+
+        for (data, first, last) in &self.blocks_data {
+            let n_pages = self.block_bytes.div_ceil(page_bytes);
+            let pages = alloc.alloc_block(self.level, n_pages).ok_or(NkvError::OutOfSpace)?;
+            for (i, &p) in pages.iter().enumerate() {
+                let start = i * page_bytes;
+                let end = (start + page_bytes).min(data.len());
+                let slice = if start < data.len() { &data[start..end] } else { &[][..] };
+                done = done.max(flash.program_page(p, slice, now)?);
+            }
+            blocks.push(BlockMeta {
+                first_key: *first,
+                last_key: *last,
+                pages,
+                bytes: data.len() as u32,
+                crc: crc32c(data),
+            });
+        }
+
+        let (min_key, max_key) = match (self.keys.iter().min(), self.keys.iter().max()) {
+            (Some(&a), Some(&b)) => (a, b),
+            _ => (1, 0), // empty SST: inverted range matches nothing
+        };
+        let mut meta = SstMeta {
+            id: self.id,
+            level: self.level,
+            record_bytes: self.record_bytes,
+            n_records: self.n_records,
+            min_key,
+            max_key,
+            blocks,
+            index_pages: Vec::new(),
+            bloom,
+            tombstones: self.tombstones,
+        };
+
+        // Serialize and store the index block.
+        let index = serialize_index(&meta);
+        let n_pages = index.len().div_ceil(page_bytes).max(1);
+        let pages = alloc.alloc_block(self.level, n_pages).ok_or(NkvError::OutOfSpace)?;
+        for (i, &p) in pages.iter().enumerate() {
+            let start = i * page_bytes;
+            let end = (start + page_bytes).min(index.len());
+            let slice = if start < index.len() { &index[start..end] } else { &[][..] };
+            done = done.max(flash.program_page(p, slice, now)?);
+        }
+        meta.index_pages = pages;
+        Ok((meta, done))
+    }
+}
+
+/// Read one data block's payload; verifies the CRC.
+pub fn read_block(
+    flash: &mut FlashArray,
+    sst: &SstMeta,
+    block_idx: usize,
+    now: SimNs,
+) -> NkvResult<(SimNs, Vec<u8>)> {
+    let block = &sst.blocks[block_idx];
+    let page_bytes = flash.config().page_bytes as usize;
+    let mut data = Vec::with_capacity(block.bytes as usize);
+    let mut done = now;
+    for &p in &block.pages {
+        let (t, page) = flash.read_page(p, now)?;
+        done = done.max(t);
+        let take = page_bytes.min(block.bytes as usize - data.len());
+        data.extend_from_slice(&page[..take]);
+        if data.len() >= block.bytes as usize {
+            break;
+        }
+    }
+    if crc32c(&data) != block.crc {
+        return Err(NkvError::CorruptBlock { sst_id: sst.id, block: block_idx });
+    }
+    Ok((done, data))
+}
+
+/// Binary-search a data block for `key`; returns the record bytes.
+pub fn search_block<'a>(data: &'a [u8], record_bytes: usize, key: u64) -> Option<&'a [u8]> {
+    let n = data.len() / record_bytes;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let off = mid * record_bytes;
+        let k = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+        match k.cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Some(&data[off..off + record_bytes]),
+        }
+    }
+    None
+}
+
+/// Serialize the index block (manual little-endian layout; the format is
+/// part of what this repository defines, see `util` docs).
+pub fn serialize_index(meta: &SstMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"NKVS");
+    out.extend_from_slice(&1u32.to_le_bytes()); // version
+    out.extend_from_slice(&meta.id.to_le_bytes());
+    out.extend_from_slice(&(meta.level as u32).to_le_bytes());
+    out.extend_from_slice(&(meta.record_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&meta.n_records.to_le_bytes());
+    out.extend_from_slice(&meta.min_key.to_le_bytes());
+    out.extend_from_slice(&meta.max_key.to_le_bytes());
+    out.extend_from_slice(&(meta.blocks.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(meta.tombstones.len() as u32).to_le_bytes());
+    let (bloom_words, bloom_bits, bloom_k) = meta.bloom.to_parts();
+    out.extend_from_slice(&(bloom_words.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bloom_bits.to_le_bytes());
+    out.extend_from_slice(&bloom_k.to_le_bytes());
+    for b in &meta.blocks {
+        out.extend_from_slice(&b.first_key.to_le_bytes());
+        out.extend_from_slice(&b.last_key.to_le_bytes());
+        out.extend_from_slice(&b.bytes.to_le_bytes());
+        out.extend_from_slice(&b.crc.to_le_bytes());
+        out.extend_from_slice(&(b.pages.len() as u32).to_le_bytes());
+        for p in &b.pages {
+            out.extend_from_slice(&p.channel.to_le_bytes());
+            out.extend_from_slice(&p.lun.to_le_bytes());
+            out.extend_from_slice(&p.page.to_le_bytes());
+        }
+    }
+    for t in &meta.tombstones {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    for w in meta.bloom.to_parts().0 {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    let crc = crc32c(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parse a serialized index block back into metadata. The bloom filter
+/// is serialized verbatim, so a deserialized index is fully equivalent to
+/// the in-memory one — this is what device recovery rebuilds from
+/// (see `nkv::recovery`).
+pub fn deserialize_index(bytes: &[u8]) -> NkvResult<SstMeta> {
+    // A tiny cursor helper; corruption is reported as CorruptBlock.
+    let fail = || NkvError::CorruptBlock { sst_id: 0, block: usize::MAX };
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> NkvResult<&[u8]> {
+        if *pos + n > bytes.len() {
+            return Err(fail());
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != b"NKVS" {
+        return Err(fail());
+    }
+    let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
+    let u64_at = |s: &[u8]| u64::from_le_bytes(s.try_into().unwrap());
+    let _version = u32_at(take(&mut pos, 4)?);
+    let id = u64_at(take(&mut pos, 8)?);
+    let level = u32_at(take(&mut pos, 4)?) as usize;
+    let record_bytes = u32_at(take(&mut pos, 4)?) as usize;
+    let n_records = u64_at(take(&mut pos, 8)?);
+    let min_key = u64_at(take(&mut pos, 8)?);
+    let max_key = u64_at(take(&mut pos, 8)?);
+    let n_blocks = u32_at(take(&mut pos, 4)?) as usize;
+    let n_tomb = u32_at(take(&mut pos, 4)?) as usize;
+    let bloom_words = u32_at(take(&mut pos, 4)?) as usize;
+    let bloom_bits = u64_at(take(&mut pos, 8)?);
+    let bloom_k = u32_at(take(&mut pos, 4)?);
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let first_key = u64_at(take(&mut pos, 8)?);
+        let last_key = u64_at(take(&mut pos, 8)?);
+        let bytes_len = u32_at(take(&mut pos, 4)?);
+        let crc = u32_at(take(&mut pos, 4)?);
+        let n_pages = u32_at(take(&mut pos, 4)?) as usize;
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let channel = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+            let lun = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+            let page = u32_at(take(&mut pos, 4)?);
+            pages.push(PhysAddr { channel, lun, page });
+        }
+        blocks.push(BlockMeta { first_key, last_key, pages, bytes: bytes_len, crc });
+    }
+    let mut tombstones = Vec::with_capacity(n_tomb);
+    for _ in 0..n_tomb {
+        tombstones.push(u64_at(take(&mut pos, 8)?));
+    }
+    let mut words = Vec::with_capacity(bloom_words);
+    for _ in 0..bloom_words {
+        words.push(u64_at(take(&mut pos, 8)?));
+    }
+    let crc_stored = u32_at(take(&mut pos, 4)?);
+    if crc32c(&bytes[..pos - 4]) != crc_stored {
+        return Err(fail());
+    }
+    if words.len() as u64 * 64 != bloom_bits || bloom_k == 0 || bloom_k > 12 {
+        return Err(fail());
+    }
+    let bloom = Bloom::from_parts(words, bloom_bits, bloom_k);
+    Ok(SstMeta {
+        id,
+        level,
+        record_bytes,
+        n_records,
+        min_key,
+        max_key,
+        blocks,
+        index_pages: Vec::new(),
+        bloom,
+        tombstones,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_sim::FlashConfig;
+
+    fn record(key: u64, size: usize) -> Vec<u8> {
+        let mut v = key.to_le_bytes().to_vec();
+        v.resize(size, (key % 251) as u8);
+        v
+    }
+
+    fn build(n: u64, record_bytes: usize) -> (FlashArray, SstMeta) {
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut alloc = PageAllocator::new(flash.config());
+        let mut b = SstBuilder::new(1, 1, record_bytes, 32 * 1024, "t");
+        for k in 1..=n {
+            b.add_record(k * 2, &record(k * 2, record_bytes)).unwrap();
+        }
+        let (meta, _) = b.finish(&mut flash, &mut alloc, 0).unwrap();
+        (flash, meta)
+    }
+
+    #[test]
+    fn builder_packs_whole_records_per_block() {
+        let (_, meta) = build(5000, 20);
+        // 32768 / 20 = 1638 records per block.
+        assert_eq!(meta.blocks[0].bytes, 1638 * 20);
+        assert_eq!(meta.n_records, 5000);
+        assert_eq!(meta.blocks.len(), 4); // 1638*3 = 4914, +86 in block 4
+        assert_eq!(meta.min_key, 2);
+        assert_eq!(meta.max_key, 10_000);
+    }
+
+    #[test]
+    fn block_ranges_partition_the_key_space() {
+        let (_, meta) = build(5000, 20);
+        for w in meta.blocks.windows(2) {
+            assert!(w[0].last_key < w[1].first_key);
+        }
+        assert_eq!(meta.block_for(2), Some(0));
+        assert_eq!(meta.block_for(10_000), Some(3));
+        assert_eq!(meta.block_for(10_001), None);
+        // A key between records still maps to the covering block (the
+        // record search inside the block then misses).
+        assert_eq!(meta.block_for(3), Some(0));
+    }
+
+    #[test]
+    fn read_block_round_trips_and_search_finds_records() {
+        let (mut flash, meta) = build(5000, 20);
+        let (_, data) = read_block(&mut flash, &meta, 1, 0).unwrap();
+        assert_eq!(data.len() as u32, meta.blocks[1].bytes);
+        let key = meta.blocks[1].first_key + 2 * 2; // second record in block
+        let rec = search_block(&data, 20, key).unwrap();
+        assert_eq!(rec, &record(key, 20)[..]);
+        assert!(search_block(&data, 20, key + 1).is_none());
+    }
+
+    #[test]
+    fn crc_detects_flash_corruption() {
+        let (mut flash, mut meta) = build(100, 20);
+        meta.blocks[0].crc ^= 1; // simulate a stale/corrupt index entry
+        let err = read_block(&mut flash, &meta, 0, 0).unwrap_err();
+        assert!(matches!(err, NkvError::CorruptBlock { sst_id: 1, block: 0 }));
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_records_rejected() {
+        let mut b = SstBuilder::new(1, 1, 20, 32 * 1024, "t");
+        b.add_record(10, &record(10, 20)).unwrap();
+        assert!(matches!(
+            b.add_record(10, &record(10, 20)),
+            Err(NkvError::UnsortedBulkLoad { .. })
+        ));
+        assert!(matches!(
+            b.add_record(5, &record(5, 20)),
+            Err(NkvError::UnsortedBulkLoad { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_record_size_rejected() {
+        let mut b = SstBuilder::new(1, 1, 20, 32 * 1024, "t");
+        assert!(matches!(
+            b.add_record(1, &record(1, 24)),
+            Err(NkvError::RecordSizeMismatch { expected: 20, got: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn bloom_and_range_pruning() {
+        let (_, meta) = build(1000, 20);
+        assert!(meta.may_contain(2));
+        assert!(!meta.may_contain(1), "below min");
+        assert!(!meta.may_contain(99_999), "above max");
+        // Odd keys were never inserted; the bloom rejects almost all.
+        let fp = (0..1000).map(|i| 2 * i + 1).filter(|&k| meta.may_contain(k)).count();
+        assert!(fp < 40, "bloom too leaky: {fp}");
+    }
+
+    #[test]
+    fn tombstones_are_sorted_and_searchable() {
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut alloc = PageAllocator::new(flash.config());
+        let mut b = SstBuilder::new(9, 1, 20, 32 * 1024, "t");
+        b.add_tombstone(50);
+        b.add_record(10, &record(10, 20)).unwrap();
+        b.add_tombstone(7);
+        let (meta, _) = b.finish(&mut flash, &mut alloc, 0).unwrap();
+        assert!(meta.is_tombstoned(7));
+        assert!(meta.is_tombstoned(50));
+        assert!(!meta.is_tombstoned(10));
+        assert_eq!(meta.min_key, 7, "tombstones participate in the key range");
+    }
+
+    #[test]
+    fn index_serialization_round_trips() {
+        let (_, meta) = build(5000, 20);
+        let bytes = serialize_index(&meta);
+        let back = deserialize_index(&bytes).unwrap();
+        assert_eq!(back.id, meta.id);
+        assert_eq!(back.n_records, meta.n_records);
+        assert_eq!(back.blocks, meta.blocks);
+        assert_eq!(back.tombstones, meta.tombstones);
+        assert_eq!(back.min_key, meta.min_key);
+        assert_eq!(back.bloom, meta.bloom, "blooms round-trip exactly");
+    }
+
+    #[test]
+    fn index_deserialization_rejects_corruption() {
+        let (_, meta) = build(100, 20);
+        let mut bytes = serialize_index(&meta);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(deserialize_index(&bytes).is_err());
+        assert!(deserialize_index(b"JUNK").is_err());
+        assert!(deserialize_index(&[]).is_err());
+    }
+
+    #[test]
+    fn index_block_is_stored_on_flash() {
+        let (mut flash, meta) = build(1000, 20);
+        assert!(!meta.index_pages.is_empty());
+        let (_, page) = flash.read_page(meta.index_pages[0], 0).unwrap();
+        assert_eq!(&page[..4], b"NKVS");
+    }
+
+    #[test]
+    fn empty_sst_matches_nothing() {
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut alloc = PageAllocator::new(flash.config());
+        let b = SstBuilder::new(1, 1, 20, 32 * 1024, "t");
+        let (meta, _) = b.finish(&mut flash, &mut alloc, 0).unwrap();
+        assert!(!meta.may_contain(0));
+        assert!(!meta.may_contain(1));
+        assert_eq!(meta.blocks.len(), 0);
+    }
+}

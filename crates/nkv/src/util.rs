@@ -1,0 +1,167 @@
+//! Small self-contained utilities: CRC-32C and a bloom filter.
+//!
+//! Both are implemented here rather than pulled in as dependencies
+//! because their exact behaviour is part of the on-flash format this
+//! repository defines (see DESIGN.md's dependency policy).
+
+/// CRC-32C (Castagnoli), table-driven, as used by RocksDB block footers.
+pub fn crc32c(data: &[u8]) -> u32 {
+    const POLY: u32 = 0x82F6_3B78; // reflected 0x1EDC6F41
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *e = crc;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A fixed-size bloom filter over `u64` keys (double hashing, k probes).
+///
+/// Every SST carries one so GET and shadow checks can skip tables that
+/// cannot contain a key — the standard LSM read-path optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    n_bits: u64,
+    k: u32,
+}
+
+impl Bloom {
+    /// Build an empty filter sized for `n` keys at `bits_per_key`.
+    pub fn new(n: usize, bits_per_key: u32) -> Self {
+        let n_bits = ((n as u64 * u64::from(bits_per_key)).max(64)).next_multiple_of(64);
+        // k ≈ bits_per_key · ln 2, clamped to a sane range.
+        let k = ((f64::from(bits_per_key) * 0.69) as u32).clamp(1, 12);
+        Self { bits: vec![0; (n_bits / 64) as usize], n_bits, k }
+    }
+
+    fn hashes(key: u64) -> (u64, u64) {
+        // Two independent mixes (splitmix-style).
+        let mut a = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        a ^= a >> 29;
+        a = a.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        a ^= a >> 32;
+        let mut b = key.wrapping_add(0x94D0_49BB_1331_11EB).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        b ^= b >> 31;
+        (a, b | 1) // odd step so probes cover the table
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: u64) {
+        let (h, step) = Self::hashes(key);
+        for i in 0..self.k {
+            let bit = h.wrapping_add(step.wrapping_mul(u64::from(i))) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// May the filter contain `key`? (No false negatives.)
+    pub fn may_contain(&self, key: u64) -> bool {
+        let (h, step) = Self::hashes(key);
+        (0..self.k).all(|i| {
+            let bit = h.wrapping_add(step.wrapping_mul(u64::from(i))) % self.n_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the filter in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Raw parts for serialization: `(words, n_bits, k)`.
+    pub fn to_parts(&self) -> (&[u64], u64, u32) {
+        (&self.bits, self.n_bits, self.k)
+    }
+
+    /// Rebuild a filter from serialized parts (inverse of
+    /// [`Bloom::to_parts`]).
+    pub fn from_parts(words: Vec<u64>, n_bits: u64, k: u32) -> Self {
+        assert_eq!(words.len() as u64 * 64, n_bits, "word count must match n_bits");
+        Self { bits: words, n_bits, k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // Standard CRC-32C test vectors.
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let clean = crc32c(&data);
+        for byte in 0..data.len() {
+            data[byte] ^= 0x10;
+            assert_ne!(crc32c(&data), clean, "flip at byte {byte} undetected");
+            data[byte] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut b = Bloom::new(10_000, 10);
+        for k in 0..10_000u64 {
+            b.insert(k * 7 + 1);
+        }
+        for k in 0..10_000u64 {
+            assert!(b.may_contain(k * 7 + 1));
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_low() {
+        let mut b = Bloom::new(10_000, 10);
+        for k in 0..10_000u64 {
+            b.insert(k);
+        }
+        let fp = (10_000u64..110_000).filter(|&k| b.may_contain(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "false positive rate {rate} too high");
+    }
+
+    #[test]
+    fn empty_bloom_contains_nothing_much() {
+        let b = Bloom::new(100, 10);
+        let fp = (0..1000u64).filter(|&k| b.may_contain(k)).count();
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn bloom_parts_round_trip() {
+        let mut b = Bloom::new(500, 10);
+        for k in 0..500u64 {
+            b.insert(k * 13);
+        }
+        let (words, n_bits, k) = b.to_parts();
+        let rebuilt = Bloom::from_parts(words.to_vec(), n_bits, k);
+        assert_eq!(rebuilt, b);
+        for key in 0..500u64 {
+            assert!(rebuilt.may_contain(key * 13));
+        }
+    }
+
+    #[test]
+    fn bloom_sizes_scale_with_keys() {
+        assert!(Bloom::new(1000, 10).byte_size() >= 1000 * 10 / 8);
+        assert!(Bloom::new(1, 10).byte_size() >= 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! Export the generated hardware and software artifacts to disk — what a
+//! user would hand to Vivado (Verilog) and to the firmware build (C
+//! header) on a real Cosmos+ board.
+//!
+//! ```text
+//! cargo run --release --example codegen_export [-- out_dir]
+//! ```
+//!
+//! Also prints the resource planning table a deployment engineer needs:
+//! how many PEs of each kind fit next to the platform logic.
+
+use ndp_core::generate;
+use ndp_hdl::XC7Z045;
+use ndp_ir::elaborate;
+use ndp_pe::template::{pe_report, system_report, PePopulation, PeVariant};
+use ndp_workload::{PAPER_PE, PAPER_REF_SPEC, REF_PE};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "generated".into());
+
+    // Generate both evaluation PEs from the shared specification.
+    let artifacts = generate(PAPER_REF_SPEC).expect("bundled spec is valid");
+    artifacts.write_to(&out_dir).expect("artifact directory is writable");
+    println!("wrote artifacts to `{}`:", out_dir.display());
+    for pe in &artifacts.pes {
+        println!(
+            "  {stem}.v ({} lines), {stem}.h ({} lines)",
+            pe.verilog.lines().count(),
+            pe.c_header.lines().count(),
+            stem = pe.file_stem()
+        );
+    }
+
+    // Resource planning: how many ref-PEs fit beside one paper-PE?
+    let module = ndp_spec::parse(PAPER_REF_SPEC).unwrap();
+    let paper = elaborate(&module, PAPER_PE).unwrap();
+    let r#ref = elaborate(&module, REF_PE).unwrap();
+    println!("\nresource plan on the XC7Z045 ({} slices):", XC7Z045::SLICES);
+    println!("  paper-PE: {} slices", pe_report(&paper, PeVariant::Generated).slices_in_context);
+    println!("  ref-PE:   {} slices", pe_report(&r#ref, PeVariant::Generated).slices_in_context);
+    println!("\n  ref-PEs | overall slices | utilization");
+    let mut last_fit = 0;
+    for n in [1u32, 3, 5, 7, 9, 11] {
+        let rep = system_report(&[
+            PePopulation { cfg: paper.clone(), variant: PeVariant::Generated, count: 1 },
+            PePopulation { cfg: r#ref.clone(), variant: PeVariant::Generated, count: n },
+        ]);
+        let fits = rep.overall_slices <= XC7Z045::SLICES;
+        println!(
+            "  {:7} | {:14} | {:6.2}% {}",
+            n,
+            rep.overall_slices,
+            rep.overall_pct,
+            if fits { "" } else { "  (does not fit)" }
+        );
+        if fits {
+            last_fit = n;
+        }
+    }
+    println!(
+        "\nthe paper's configuration (7 ref-PEs) fits; at most {last_fit} ref-PEs fit \
+         next to one paper-PE"
+    );
+}

@@ -1,0 +1,407 @@
+//! Property-based tests over the core invariants of the stack.
+//!
+//! Strategies generate *specification sources* (random struct shapes),
+//! random tuple bytes, random filter chains and random KV workloads;
+//! properties assert the invariants DESIGN.md calls out: layout
+//! well-formedness, codec round-trips, filter/transform semantics against
+//! naive models, LSM linearizability against a `BTreeMap`, and storage
+//! integrity primitives.
+
+use ndp_ir::{elaborate, CmpOp, PeConfig};
+use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
+use ndp_pe::tuple::{apply_transform, LayoutCodec, Tuple};
+use ndp_spec::PrimTy;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- helpers
+
+/// A randomly shaped field for spec-source generation.
+#[derive(Debug, Clone)]
+enum FieldShape {
+    Prim(&'static str),
+    Array(&'static str, usize),
+    Str { prefix: u32, total: usize },
+}
+
+fn prim_name() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t",
+        "int64_t", "float", "double",
+    ])
+}
+
+fn field_shape() -> impl Strategy<Value = FieldShape> {
+    prop_oneof![
+        4 => prim_name().prop_map(FieldShape::Prim),
+        2 => (prim_name(), 1..5usize).prop_map(|(p, n)| FieldShape::Array(p, n)),
+        1 => (prop::sample::select(vec![1u32, 2, 4, 8]), 0..24usize)
+            .prop_map(|(prefix, extra)| FieldShape::Str {
+                prefix,
+                total: prefix as usize + extra,
+            }),
+    ]
+}
+
+/// Render a random struct spec with an identity parser.
+fn spec_source(fields: &[FieldShape]) -> String {
+    let mut body = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        match f {
+            FieldShape::Prim(p) => body.push_str(&format!("{p} f{i}; ")),
+            FieldShape::Array(p, n) => body.push_str(&format!("{p} f{i}[{n}]; ")),
+            FieldShape::Str { prefix, total } => body.push_str(&format!(
+                "/* @string(prefix = {prefix}) */ uint8_t f{i}[{total}]; "
+            )),
+        }
+    }
+    format!(
+        "/* @autogen define parser P with input = T, output = T */
+         typedef struct {{ {body} }} T;"
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = PeConfig> {
+    prop::collection::vec(field_shape(), 1..8).prop_map(|fields| {
+        let src = spec_source(&fields);
+        let m = ndp_spec::parse(&src).expect("generated source parses");
+        elaborate(&m, "P").expect("generated source elaborates")
+    })
+}
+
+// ---------------------------------------------------------- layout props
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Layout invariants: fields tile the tuple contiguously, every
+    /// relevant field gets a unique lane, lane width is the max field
+    /// width, padded size is lanes × lane width + postfix bits.
+    #[test]
+    fn layout_invariants(cfg in arb_config()) {
+        let l = &cfg.input;
+        let mut offset = 0u64;
+        let mut lanes_seen = std::collections::HashSet::new();
+        for f in &l.fields {
+            prop_assert_eq!(f.offset_bits, offset, "field {} not contiguous", f.path);
+            offset += u64::from(f.width_bits);
+            if let Some(lane) = f.lane {
+                prop_assert!(lanes_seen.insert(lane), "duplicate lane");
+                prop_assert!(f.width_bits <= l.lane_bits);
+            }
+        }
+        prop_assert_eq!(offset, l.tuple_bits);
+        prop_assert_eq!(lanes_seen.len() as u32, l.lanes);
+        prop_assert_eq!(
+            l.padded_bits(),
+            u64::from(l.lanes) * u64::from(l.lane_bits) + l.postfix_bits
+        );
+        let max_rel = l.relevant_fields().map(|f| f.width_bits).max().unwrap();
+        prop_assert_eq!(l.lane_bits, max_rel);
+    }
+
+    /// Parser/printer round-trip: printing a parsed module and re-parsing
+    /// it preserves semantics (the printer is the span-free normal form).
+    #[test]
+    fn spec_print_parse_round_trips(fields in prop::collection::vec(field_shape(), 1..8)) {
+        let src = spec_source(&fields);
+        let m1 = ndp_spec::parse(&src).expect("generated source parses");
+        let printed = ndp_spec::print_module(&m1);
+        let m2 = ndp_spec::parse(&printed).expect("printed source re-parses");
+        prop_assert_eq!(ndp_spec::print_module(&m1), ndp_spec::print_module(&m2));
+    }
+
+    /// Codec round-trip: unpack→pack is the identity on arbitrary bytes.
+    #[test]
+    fn codec_round_trips(cfg in arb_config(), seed in any::<u64>()) {
+        let codec = LayoutCodec::new(&cfg.input);
+        let n = codec.tuple_bytes();
+        let mut bytes = vec![0u8; n];
+        let mut state = seed | 1;
+        for b in &mut bytes {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 33) as u8;
+        }
+        let t = codec.unpack(&bytes);
+        let mut out = Vec::new();
+        codec.pack_into(&t, &mut out);
+        prop_assert_eq!(out, bytes);
+    }
+
+    /// Identity transforms preserve tuples exactly.
+    #[test]
+    fn identity_transform_is_identity(cfg in arb_config(), seed in any::<u64>()) {
+        let codec = LayoutCodec::new(&cfg.input);
+        let mut bytes = vec![0u8; codec.tuple_bytes()];
+        let mut state = seed | 1;
+        for b in &mut bytes {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 29) as u8;
+        }
+        let input = codec.unpack(&bytes);
+        let mut output = Tuple::default();
+        apply_transform(&cfg.transform, &codec, &codec, &input, &mut output);
+        prop_assert_eq!(output, input);
+    }
+}
+
+// ---------------------------------------------------------- filter props
+
+/// Naive reference model of one comparison, written independently of
+/// `CmpOp::eval` (full-width integer semantics only; the strategy below
+/// restricts lanes accordingly).
+fn naive_cmp(op: u32, prim: PrimTy, a: u64, b: u64) -> Option<bool> {
+    let (a, b) = match prim {
+        PrimTy::U8 | PrimTy::U16 | PrimTy::U32 | PrimTy::U64 => (i128::from(a), i128::from(b)),
+        PrimTy::I8 => (i128::from(a as u8 as i8), i128::from(b as u8 as i8)),
+        PrimTy::I16 => (i128::from(a as u16 as i16), i128::from(b as u16 as i16)),
+        PrimTy::I32 => (i128::from(a as u32 as i32), i128::from(b as u32 as i32)),
+        PrimTy::I64 => (i128::from(a as i64), i128::from(b as i64)),
+        PrimTy::F32 | PrimTy::F64 => return None,
+    };
+    Some(match op {
+        0 => true,
+        1 => a != b,
+        2 => a == b,
+        3 => a > b,
+        4 => a >= b,
+        5 => a < b,
+        6 => a <= b,
+        _ => false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The oracle's filter chain equals the conjunction of naive
+    /// comparisons for every non-float lane.
+    #[test]
+    fn filter_chain_matches_naive_model(
+        cfg in arb_config(),
+        seed in any::<u64>(),
+        rule_seeds in prop::collection::vec((any::<u32>(), 0..7u32, any::<u64>()), 1..4),
+    ) {
+        let bp = BlockProcessor::new(&cfg);
+        let ops = OpTable::from_config(&cfg);
+        let codec = LayoutCodec::new(&cfg.input);
+        let mut bytes = vec![0u8; codec.tuple_bytes()];
+        let mut state = seed | 1;
+        for b in &mut bytes {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 31) as u8;
+        }
+        let t = codec.unpack(&bytes);
+        let rules: Vec<FilterRule> = rule_seeds
+            .iter()
+            .map(|&(lane_seed, op, value)| FilterRule {
+                lane: lane_seed % cfg.input.lanes,
+                op_code: op,
+                value,
+            })
+            .collect();
+        // Skip tuples whose selected lanes are float-typed (naive model
+        // doesn't cover IEEE semantics; CmpOp's own unit tests do).
+        let mut expected = true;
+        for r in &rules {
+            let prim = codec.lane_prim(r.lane).unwrap();
+            match naive_cmp(r.op_code, prim, t.lanes[r.lane as usize], r.value) {
+                Some(pass) => expected &= pass,
+                None => return Ok(()),
+            }
+        }
+        prop_assert_eq!(bp.tuple_passes(&bytes, &rules, &ops), expected);
+    }
+
+    /// CmpOp total-order consistency: exactly one of <, ==, > holds for
+    /// non-NaN operands, and the derived operators agree.
+    #[test]
+    fn cmp_op_order_consistency(a in any::<u64>(), b in any::<u64>()) {
+        for prim in [PrimTy::U32, PrimTy::I64, PrimTy::U8, PrimTy::I16] {
+            let lt = CmpOp::Lt.eval(prim, a, b);
+            let eq = CmpOp::Eq.eval(prim, a, b);
+            let gt = CmpOp::Gt.eval(prim, a, b);
+            prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+            prop_assert_eq!(CmpOp::Ge.eval(prim, a, b), !lt);
+            prop_assert_eq!(CmpOp::Le.eval(prim, a, b), !gt);
+            prop_assert_eq!(CmpOp::Ne.eval(prim, a, b), !eq);
+            prop_assert!(CmpOp::Nop.eval(prim, a, b));
+        }
+    }
+
+    /// The cycle-level PE equals the byte oracle on arbitrary blocks and
+    /// single rules (deep equivalence of the two execution models).
+    #[test]
+    fn cycle_model_equals_oracle(
+        cfg in arb_config(),
+        seed in any::<u64>(),
+        lane_seed in any::<u32>(),
+        op in 0..7u32,
+        value in any::<u64>(),
+        n_tuples in 1..40usize,
+    ) {
+        use ndp_pe::regs::offsets;
+        use ndp_pe::{MemBus, Mmio, PeDevice, PeSim, VecMem};
+        let bp = BlockProcessor::new(&cfg);
+        let ops = OpTable::from_config(&cfg);
+        let ts = cfg.input.tuple_bytes() as usize;
+        let mut input = vec![0u8; n_tuples * ts];
+        let mut state = seed | 1;
+        for byte in &mut input {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *byte = (state >> 30) as u8;
+        }
+        let rule = FilterRule { lane: lane_seed % cfg.input.lanes, op_code: op, value };
+
+        let mut expected = Vec::new();
+        let stats = bp.process_block(&input, std::slice::from_ref(&rule), &ops, &mut expected);
+
+        let mut pe = PeSim::new(cfg.clone());
+        let mut mem = VecMem::new(1 << 20);
+        mem.write_bytes(0, &input);
+        pe.mmio_write(offsets::SRC_LEN, input.len() as u32);
+        pe.mmio_write(offsets::DST_ADDR_LO, 0x8_0000);
+        pe.mmio_write(offsets::DST_CAPACITY, 1 << 18);
+        pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_FIELD, rule.lane);
+        pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_OP, rule.op_code);
+        pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_VAL_LO, rule.value as u32);
+        pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_VAL_HI, (rule.value >> 32) as u32);
+        pe.mmio_write(offsets::START, 1);
+        let res = pe.execute(&mut mem);
+        prop_assert_eq!(res.tuples_in, stats.tuples_in);
+        prop_assert_eq!(res.tuples_out, stats.tuples_out);
+        let mut got = vec![0u8; expected.len()];
+        mem.read_bytes(0x8_0000, &mut got);
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ------------------------------------------------------------- LSM props
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The LSM tree (through flush and compaction) is observationally
+    /// equivalent to a `BTreeMap` under random put/delete sequences.
+    #[test]
+    fn lsm_matches_btreemap_model(
+        ops_seq in prop::collection::vec((1u64..64, any::<bool>(), any::<u8>()), 1..300),
+        flush_every in 10..50usize,
+    ) {
+        use nkv::lsm::{LsmConfig, LsmTree};
+        use nkv::memtable::Entry;
+        use nkv::placement::PageAllocator;
+        use nkv::sst::{read_block, search_block};
+        use cosmos_sim::{FlashArray, FlashConfig};
+
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut alloc = PageAllocator::new(flash.config());
+        let cfg = LsmConfig { memtable_bytes: 1 << 14, c1_sst_limit: 2, ..LsmConfig::default() };
+        let mut lsm = LsmTree::new("t", 16, cfg, 5);
+        let mut model = std::collections::BTreeMap::new();
+
+        let rec = |key: u64, tag: u8| {
+            let mut v = key.to_le_bytes().to_vec();
+            v.resize(16, tag);
+            v
+        };
+
+        for (i, &(key, is_put, tag)) in ops_seq.iter().enumerate() {
+            if is_put {
+                lsm.put(key, rec(key, tag));
+                model.insert(key, rec(key, tag));
+            } else {
+                lsm.delete(key);
+                model.remove(&key);
+            }
+            if i % flush_every == flush_every - 1 {
+                lsm.flush(&mut flash, &mut alloc, 0).unwrap();
+            }
+            if lsm.should_compact(0) {
+                lsm.compact(&mut flash, &mut alloc, 0, 0).unwrap();
+            }
+        }
+
+        // Reference read path over the final state.
+        for key in 1u64..64 {
+            let got = match lsm.memtable_get(key) {
+                Some(Entry::Value(v)) => Some(v.clone()),
+                Some(Entry::Tombstone) => None,
+                None => {
+                    let mut found = None;
+                    for sst in lsm.candidate_ssts(key) {
+                        if sst.is_tombstoned(key) {
+                            break;
+                        }
+                        if !sst.may_contain(key) {
+                            continue;
+                        }
+                        if let Some(bi) = sst.block_for(key) {
+                            let (_, data) = read_block(&mut flash, sst, bi, 0).unwrap();
+                            if let Some(r) = search_block(&data, 16, key) {
+                                found = Some(r.to_vec());
+                                break;
+                            }
+                        }
+                    }
+                    found
+                }
+            };
+            prop_assert_eq!(&got, &model.get(&key).cloned(), "key {}", key);
+        }
+    }
+
+    /// SST index serialization round-trips for arbitrary record sizes
+    /// and key sets.
+    #[test]
+    fn sst_index_round_trips(
+        keys in prop::collection::btree_set(1u64..100_000, 1..200),
+        record_bytes in prop::sample::select(vec![8usize, 12, 16, 20, 40, 80]),
+    ) {
+        use nkv::placement::PageAllocator;
+        use nkv::sst::{deserialize_index, serialize_index, SstBuilder};
+        use cosmos_sim::{FlashArray, FlashConfig};
+
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut alloc = PageAllocator::new(flash.config());
+        let mut b = SstBuilder::new(3, 1, record_bytes, 32 * 1024, "t");
+        for &k in &keys {
+            let mut rec = k.to_le_bytes().to_vec();
+            rec.resize(record_bytes, 0x5A);
+            b.add_record(k, &rec).unwrap();
+        }
+        let (meta, _) = b.finish(&mut flash, &mut alloc, 0).unwrap();
+        let back = deserialize_index(&serialize_index(&meta)).unwrap();
+        prop_assert_eq!(back.blocks, meta.blocks);
+        prop_assert_eq!(back.n_records, meta.n_records);
+        prop_assert_eq!((back.min_key, back.max_key), (meta.min_key, meta.max_key));
+    }
+
+    /// CRC-32C detects any single-byte corruption in a block.
+    #[test]
+    fn crc_detects_any_single_byte_change(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        pos_seed in any::<usize>(),
+        delta in 1u8..=255,
+    ) {
+        let clean = nkv::util::crc32c(&data);
+        let mut corrupted = data.clone();
+        let pos = pos_seed % corrupted.len();
+        corrupted[pos] ^= delta;
+        prop_assert_ne!(nkv::util::crc32c(&corrupted), clean);
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_never_false_negative(
+        keys in prop::collection::hash_set(any::<u64>(), 1..500),
+        bits_per_key in 4u32..16,
+    ) {
+        let mut bloom = nkv::util::Bloom::new(keys.len(), bits_per_key);
+        for &k in &keys {
+            bloom.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(bloom.may_contain(k));
+        }
+    }
+}
