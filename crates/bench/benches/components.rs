@@ -2,7 +2,8 @@
 //! substrates (frontend, oracle filtering, cycle-level PE, memtable,
 //! bloom filter, CRC).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::{Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use ndp_ir::elaborate;
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
 use ndp_workload::spec::{PAPER_REF_SPEC, REF_PE};

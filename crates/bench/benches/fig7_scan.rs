@@ -3,8 +3,9 @@
 //! Criterion measures the harness cost of a scaled SCAN simulation; the
 //! simulated device times (the figure's values) print once per case.
 
+use bench::harness::Criterion;
 use bench::{build_db, DbKind};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main};
 use ndp_pe::oracle::FilterRule;
 use ndp_workload::spec::{paper_lanes, ref_lanes};
 use nkv::ExecMode;
@@ -17,13 +18,9 @@ fn bench_scan(c: &mut Criterion) {
     group.sample_size(10);
     for (kind, kname) in [(DbKind::Baseline, "base"), (DbKind::Ours, "ours")] {
         let mut ds = build_db(SCALE, kind);
-        for (mode, mname) in
-            [(ExecMode::Software, "sw"), (ExecMode::Hardware, "hw")]
-        {
-            let paper_rules =
-                [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2019 }];
-            let ref_rules =
-                [FilterRule { lane: ref_lanes::YEAR, op_code: 2, value: 1980 }];
+        for (mode, mname) in [(ExecMode::Software, "sw"), (ExecMode::Hardware, "hw")] {
+            let paper_rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2019 }];
+            let ref_rules = [FilterRule { lane: ref_lanes::YEAR, op_code: 2, value: 1980 }];
             let p = ds.db.scan("papers", &paper_rules, mode).unwrap();
             let r = ds.db.scan("refs", &ref_rules, mode).unwrap();
             println!(

@@ -4,7 +4,8 @@
 //! pipeline (parse → elaborate → compose → estimate) per tuple size.
 
 use bench::figures::{fig8, fig8_full_spec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig8(c: &mut Criterion) {

@@ -5,7 +5,8 @@
 //! execution time (the paper's elastic-pipeline claim).
 
 use bench::figures::fig9;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use ndp_pe::regs::offsets;
 use ndp_pe::{MemBus, Mmio, PeDevice, PeSim, VecMem};
 use std::hint::black_box;

@@ -4,7 +4,8 @@
 //! (the cost a user pays per design-space point when exploring formats).
 
 use bench::figures::table1;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {

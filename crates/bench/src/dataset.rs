@@ -1,12 +1,11 @@
 //! Dataset construction: load the publication graph into an nKV device.
 
-use crossbeam::channel::bounded;
+use cosmos_sim::{CosmosConfig, FirmwareEra};
 use ndp_ir::elaborate;
 use ndp_pe::template::PeVariant;
 use ndp_workload::spec::{PAPER_PE, PAPER_REF_SPEC, REF_PE};
 use ndp_workload::{PaperGen, PubGraphConfig, RefGen};
 use nkv::{NkvDb, TableConfig};
-use cosmos_sim::{CosmosConfig, FirmwareEra};
 
 /// Which system composition to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,9 +64,9 @@ pub fn build_db(scale: f64, kind: DbKind) -> Dataset {
 
 /// Stream-generate and bulk-load one table through a bounded channel.
 fn load_streaming(db: &mut NkvDb, table: &str, cfg: PubGraphConfig, papers: bool) {
-    let (tx, rx) = bounded::<Vec<u8>>(4096);
-    crossbeam::scope(|scope| {
-        scope.spawn(move |_| {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(4096);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
             if papers {
                 let mut buf = Vec::with_capacity(80);
                 for p in PaperGen::new(cfg) {
@@ -88,18 +87,17 @@ fn load_streaming(db: &mut NkvDb, table: &str, cfg: PubGraphConfig, papers: bool
                 }
             }
         });
-        let n = db.bulk_load(table, rx.into_iter()).expect("bulk load succeeds");
+        let n = db.bulk_load(table, rx).expect("bulk load succeeds");
         let expected = if papers { cfg.papers } else { cfg.refs };
         assert_eq!(n, expected, "loader must ingest the whole stream");
-    })
-    .expect("producer thread joins cleanly");
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndp_workload::spec::paper_lanes;
     use ndp_pe::oracle::FilterRule;
+    use ndp_workload::spec::paper_lanes;
     use nkv::ExecMode;
 
     #[test]
@@ -108,8 +106,7 @@ mod tests {
         assert!(ds.cfg.papers > 500);
         let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2000 }];
         let s = ds.db.scan("papers", &rules, ExecMode::Hardware).unwrap();
-        let expected =
-            PaperGen::new(ds.cfg).filter(|p| p.year >= 2000).count() as u64;
+        let expected = PaperGen::new(ds.cfg).filter(|p| p.year >= 2000).count() as u64;
         assert_eq!(s.count, expected);
     }
 

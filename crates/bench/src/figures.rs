@@ -250,8 +250,7 @@ pub fn fig9() -> Vec<Fig9Row> {
                     &format!("define parser F with stages = {stages},"),
                 );
                 let cfg = elaborate(&ndp_spec::parse(&spec).unwrap(), "F").unwrap();
-                f64::from(pe_report(&cfg, PeVariant::Generated).slices_out_of_context)
-                    / available
+                f64::from(pe_report(&cfg, PeVariant::Generated).slices_out_of_context) / available
                     * 100.0
             };
             Fig9Row {
@@ -313,10 +312,7 @@ pub fn ablation_store_traffic(scale: f64) -> (u64, u64) {
                 ExecMode::Hardware,
             )
             .unwrap();
-        ds.db
-            .platform_mut()
-            .dram
-            .traffic_of(cosmos_sim::dram::DramClient::PeStore)
+        ds.db.platform_mut().dram.traffic_of(cosmos_sim::dram::DramClient::PeStore)
     };
     (run(DbKind::Ours), run(DbKind::Baseline))
 }
@@ -353,9 +349,8 @@ pub fn ablation_aggregate_pushdown(scale: f64) -> (u64, u64, f64, f64) {
     .unwrap();
     let rules = [FilterRule { lane: ref_lanes::YEAR, op_code: ops::EQ, value: 1980 }];
     let full = db.scan("refs", &rules, ExecMode::Hardware).unwrap();
-    let (count, _, agg_rep) = db
-        .scan_aggregate("refs", &rules, AggOp::Count, 0, ExecMode::Hardware)
-        .unwrap();
+    let (count, _, agg_rep) =
+        db.scan_aggregate("refs", &rules, AggOp::Count, 0, ExecMode::Hardware).unwrap();
     assert_eq!(count, full.count, "both answers must agree");
     (
         full.report.result_bytes,
@@ -421,8 +416,7 @@ mod tests {
     #[test]
     fn fig9_is_linear_with_small_slope() {
         let rows = fig9();
-        let deltas: Vec<f64> =
-            rows.windows(2).map(|w| w[1].full_pct - w[0].full_pct).collect();
+        let deltas: Vec<f64> = rows.windows(2).map(|w| w[1].full_pct - w[0].full_pct).collect();
         let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
         for d in &deltas {
             assert!((d - mean).abs() / mean < 0.05, "non-linear: {deltas:?}");

@@ -1,0 +1,194 @@
+//! Minimal wall-clock benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds in hermetic environments with no crates.io
+//! access, so the `benches/` files run on this self-contained harness
+//! instead of the external `criterion` crate. It implements exactly the
+//! subset the bench files use — `bench_function`, `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_with_input`, `Bencher::iter` —
+//! with median-of-samples reporting. It does not do statistical
+//! outlier analysis; the simulated device times the benches print are
+//! the paper-facing numbers, the wall-clock medians are a sanity check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark; keeps a full `cargo bench` short.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Top-level driver, one per process (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 50, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string(), samples: 50, throughput: None }
+    }
+}
+
+/// Throughput annotation: reported as MB/s or Melem/s next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark id (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self { param: p.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.samples, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.param);
+        run_one(&name, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-sample timing context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: grow the per-sample iteration count until one sample
+    // costs ≥ ~1 ms, so Instant overhead is negligible for fast bodies.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break b.elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    };
+
+    // Sampling under a total time budget.
+    let budget_start = Instant::now();
+    let mut ns_per_iter: Vec<f64> = Vec::with_capacity(samples);
+    ns_per_iter.push(per_iter);
+    while ns_per_iter.len() < samples && budget_start.elapsed() < TIME_BUDGET {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        ns_per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    ns_per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = ns_per_iter[ns_per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MB/s)", n as f64 / median * 1e9 / 1e6)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / median * 1e9 / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<40} {:>12}/iter  [{} samples]{rate}", fmt_ns(median), ns_per_iter.len());
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Build the group runner function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Build `main` from group runners (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -17,5 +17,6 @@
 
 pub mod dataset;
 pub mod figures;
+pub mod harness;
 
-pub use dataset::{build_db, DbKind, Dataset};
+pub use dataset::{build_db, Dataset, DbKind};

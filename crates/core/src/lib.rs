@@ -116,10 +116,7 @@ pub fn generate(source: &str) -> Result<Artifacts, GenError> {
 
 /// Like [`generate`], with user-registered custom operator names
 /// (their semantics are bound on the PE simulator afterwards).
-pub fn generate_with_custom_ops(
-    source: &str,
-    custom_ops: &[&str],
-) -> Result<Artifacts, GenError> {
+pub fn generate_with_custom_ops(source: &str, custom_ops: &[&str]) -> Result<Artifacts, GenError> {
     let module: SpecModule = ndp_spec::parse(source)?;
     let mut pes = Vec::with_capacity(module.parsers.len());
     for parser in &module.parsers {

@@ -7,6 +7,7 @@
 //! reduce that contention — so the model tracks port occupancy per
 //! client class.
 
+use crate::faults::{DramFaultState, DramFaultStats, FaultPlan};
 use crate::server::BandwidthLink;
 use crate::SimNs;
 
@@ -30,6 +31,9 @@ pub struct Dram {
     bytes: Vec<u8>,
     port: BandwidthLink,
     traffic: [u64; 5],
+    /// Stall-burst injection state; `None` (the default) costs one
+    /// branch per transfer and changes nothing else.
+    faults: Option<DramFaultState>,
 }
 
 /// Zynq-7000 PS DDR3 effective bandwidth available to the PL masters
@@ -39,7 +43,12 @@ pub const DRAM_PORT_BW: f64 = 1.0e9;
 impl Dram {
     /// A zeroed DRAM of `size` bytes.
     pub fn new(size: usize) -> Self {
-        Self { bytes: vec![0; size], port: BandwidthLink::new(DRAM_PORT_BW), traffic: [0; 5] }
+        Self {
+            bytes: vec![0; size],
+            port: BandwidthLink::new(DRAM_PORT_BW),
+            traffic: [0; 5],
+            faults: None,
+        }
     }
 
     /// DRAM size in bytes.
@@ -68,8 +77,35 @@ impl Dram {
     /// returns the completion time on the shared port.
     pub fn timed_transfer(&mut self, client: DramClient, bytes: u64, now: SimNs) -> SimNs {
         self.traffic[client as usize] += bytes;
-        let (_, finish) = self.port.transfer(now, bytes);
+        let mut start = now;
+        if let Some(f) = &mut self.faults {
+            if f.stall_p > 0.0 && f.rng.gen_bool(f.stall_p) {
+                // AXI stall burst: the port stops serving for a while
+                // before this transfer is granted.
+                let (lo, hi) = f.stall_ns;
+                let stall = if hi > lo { lo + f.rng.gen_u64(hi - lo) } else { lo };
+                f.stats.stalls += 1;
+                f.stats.stall_ns_total += stall;
+                start += stall;
+            }
+        }
+        let (_, finish) = self.port.transfer(start, bytes);
         finish
+    }
+
+    /// Install the stall-burst portion of a fault plan.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(DramFaultState::from_plan(plan));
+    }
+
+    /// Drop stall-burst injection state.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Stall counters since install (zeros when no plan is installed).
+    pub fn fault_stats(&self) -> DramFaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Total bytes moved by `client`.
@@ -113,6 +149,26 @@ mod tests {
         let f1 = d.timed_transfer(DramClient::FlashDma, 32 * 1024, 0);
         let f2 = d.timed_transfer(DramClient::PeLoad, 32 * 1024, 0);
         assert!(f2 >= 2 * f1 - 1, "second transfer must queue behind the first");
+    }
+
+    #[test]
+    fn stall_bursts_delay_transfers_and_are_counted() {
+        let mut d = Dram::new(0);
+        d.install_faults(&FaultPlan {
+            seed: 3,
+            dram_stall_p: 1.0,
+            dram_stall_ns: (10_000, 20_000),
+            ..FaultPlan::default()
+        });
+        let mut clean = Dram::new(0);
+        let f_faulty = d.timed_transfer(DramClient::PeLoad, 4096, 0);
+        let f_clean = clean.timed_transfer(DramClient::PeLoad, 4096, 0);
+        let delta = f_faulty - f_clean;
+        assert!((10_000..20_000).contains(&delta), "stall of {delta} ns");
+        assert_eq!(d.fault_stats().stalls, 1);
+        assert_eq!(d.fault_stats().stall_ns_total, delta);
+        d.clear_faults();
+        assert_eq!(d.fault_stats(), DramFaultStats::default());
     }
 
     #[test]

@@ -13,7 +13,29 @@
 //!
 //! Pages are stored sparsely (`HashMap`), so full-volume datasets
 //! (~1.1 GB) are held without preallocating the whole array.
+//!
+//! # Fault semantics
+//!
+//! Injected read faults are **explicitly transient or persistent**
+//! (see [`FlashFaultKind`]); nothing heals implicitly:
+//!
+//! * a *transient* fault fails a bounded number of reads of the page
+//!   and then clears — the recovery action is a retry;
+//! * a *persistent* fault (a grown bad page) fails every read until the
+//!   data is relocated and survives a [`FlashArray::reboot`] — the
+//!   recovery action is relocation from a redundant copy or loss;
+//! * a *correctable* fault returns correct data with an
+//!   [`ECC_CORRECTION_NS`] latency penalty and increments the page's
+//!   degradation counter — the recovery action is proactive read-repair
+//!   before the page degrades to persistent failure.
+//!
+//! Random fault rates are driven by an installed [`FaultPlan`]; with no
+//! plan installed every fault check is a single `Option` branch and the
+//! timing behaviour is bit-for-bit the no-fault model.
 
+use crate::faults::{
+    FaultPlan, FlashFaultKind, FlashFaultState, FlashFaultStats, ECC_CORRECTION_NS,
+};
 use crate::server::{BandwidthLink, Server};
 use crate::{timing, SimNs};
 use std::collections::HashMap;
@@ -71,8 +93,23 @@ pub enum FlashError {
     OutOfRange(PhysAddr),
     /// Read of a page that was never programmed.
     Unwritten(PhysAddr),
-    /// Injected uncorrectable ECC failure (fault-injection hook).
+    /// Uncorrectable ECC failure: the page is a (possibly grown) bad
+    /// page. Persistent — retries do not help, relocation does.
     Uncorrectable(PhysAddr),
+    /// Transient read failure: an immediate retry of the same page is
+    /// expected to succeed.
+    TransientRead(PhysAddr),
+    /// Power was cut; every flash operation fails until
+    /// [`FlashArray::reboot`].
+    PowerCut,
+}
+
+impl FlashError {
+    /// Whether retrying the same operation can succeed (the resilience
+    /// layer's retry loop keys off this).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FlashError::TransientRead(_))
+    }
 }
 
 impl std::fmt::Display for FlashError {
@@ -81,6 +118,8 @@ impl std::fmt::Display for FlashError {
             FlashError::OutOfRange(a) => write!(f, "flash address out of range: {a:?}"),
             FlashError::Unwritten(a) => write!(f, "read of unwritten page: {a:?}"),
             FlashError::Uncorrectable(a) => write!(f, "uncorrectable ECC error at {a:?}"),
+            FlashError::TransientRead(a) => write!(f, "transient read failure at {a:?}"),
+            FlashError::PowerCut => write!(f, "flash operation after power cut"),
         }
     }
 }
@@ -100,6 +139,9 @@ pub struct FlashArray {
     controllers: Vec<BandwidthLink>,
     /// Pages marked as failing with uncorrectable ECC errors.
     bad_pages: HashMap<PhysAddr, ()>,
+    /// Fault-injection state; `None` (the default) costs one branch per
+    /// operation and changes nothing else.
+    faults: Option<FlashFaultState>,
     reads: u64,
     writes: u64,
 }
@@ -107,18 +149,22 @@ pub struct FlashArray {
 impl FlashArray {
     /// Build an empty array with the given configuration.
     pub fn new(cfg: FlashConfig) -> Self {
-        assert!(cfg.controllers > 0 && cfg.channels % cfg.controllers == 0);
+        assert!(cfg.controllers > 0 && cfg.channels.is_multiple_of(cfg.controllers));
         let per_controller = cfg.aggregate_bw / f64::from(cfg.controllers);
         // Channel buses run faster than the controller DMA (ONFI buses do
         // ~400 MB/s); model them at 2x the controller rate so the
         // controller is the bottleneck, as the paper states.
         let per_channel = per_controller * 2.0;
         Self {
-            luns: vec![Server::new(); usize::from(cfg.channels) * usize::from(cfg.luns_per_channel)],
+            luns: vec![
+                Server::new();
+                usize::from(cfg.channels) * usize::from(cfg.luns_per_channel)
+            ],
             channels: vec![BandwidthLink::new(per_channel); usize::from(cfg.channels)],
             controllers: vec![BandwidthLink::new(per_controller); usize::from(cfg.controllers)],
             pages: HashMap::new(),
             bad_pages: HashMap::new(),
+            faults: None,
             reads: 0,
             writes: 0,
             cfg,
@@ -159,14 +205,37 @@ impl FlashArray {
     ) -> Result<SimNs, FlashError> {
         self.check(addr)?;
         assert!(data.len() <= self.cfg.page_bytes as usize, "data larger than a page");
+        if let Some(f) = &mut self.faults {
+            if f.power_is_cut {
+                f.stats.rejected_while_cut += 1;
+                return Err(FlashError::PowerCut);
+            }
+            if let Some(left) = &mut f.writes_until_cut {
+                if *left == 0 {
+                    // The cut strikes mid-program: a random prefix of the
+                    // data reaches the cells, the tail is lost, and no
+                    // later operation succeeds until `reboot`.
+                    f.power_is_cut = true;
+                    f.writes_until_cut = None;
+                    f.stats.torn_writes += 1;
+                    let keep = f.rng.gen_u64(data.len() as u64 + 1) as usize;
+                    let mut page = vec![0u8; self.cfg.page_bytes as usize].into_boxed_slice();
+                    page[..keep].copy_from_slice(&data[..keep]);
+                    self.pages.insert(addr, page);
+                    self.writes += 1;
+                    return Err(FlashError::PowerCut);
+                }
+                *left -= 1;
+            }
+        }
         let mut page = vec![0u8; self.cfg.page_bytes as usize].into_boxed_slice();
         page[..data.len()].copy_from_slice(data);
 
         // Transfer to the chip over channel + controller, then program.
         let ctrl = usize::from(self.controller_of(addr.channel));
         let (_, dma_done) = self.controllers[ctrl].transfer(now, u64::from(self.cfg.page_bytes));
-        let (_, bus_done) =
-            self.channels[usize::from(addr.channel)].transfer(dma_done, u64::from(self.cfg.page_bytes));
+        let (_, bus_done) = self.channels[usize::from(addr.channel)]
+            .transfer(dma_done, u64::from(self.cfg.page_bytes));
         let li = self.lun_index(addr);
         let (_, prog_done) = self.luns[li].schedule(bus_done, self.cfg.page_program_ns);
 
@@ -176,38 +245,178 @@ impl FlashArray {
     }
 
     /// Read one page; returns `(completion_time, data)`.
-    pub fn read_page(
-        &mut self,
-        addr: PhysAddr,
-        now: SimNs,
-    ) -> Result<(SimNs, &[u8]), FlashError> {
+    pub fn read_page(&mut self, addr: PhysAddr, now: SimNs) -> Result<(SimNs, &[u8]), FlashError> {
         self.check(addr)?;
+        if let Some(f) = &mut self.faults {
+            if f.power_is_cut {
+                f.stats.rejected_while_cut += 1;
+                return Err(FlashError::PowerCut);
+            }
+        }
         if self.bad_pages.contains_key(&addr) {
             return Err(FlashError::Uncorrectable(addr));
         }
         if !self.pages.contains_key(&addr) {
             return Err(FlashError::Unwritten(addr));
         }
-        // tR on the LUN, then channel bus, then controller DMA.
+        // Injected-fault processing (transient, grown-bad, correctable).
+        let mut ecc_penalty_ns: SimNs = 0;
+        if let Some(f) = &mut self.faults {
+            if let Some(left) = f.transient.get_mut(&addr) {
+                *left -= 1;
+                if *left == 0 {
+                    f.transient.remove(&addr);
+                }
+                f.stats.transient_failures += 1;
+                return Err(FlashError::TransientRead(addr));
+            }
+            if f.bad_growth_p > 0.0 && f.rng.gen_bool(f.bad_growth_p) {
+                f.stats.grown_bad_pages += 1;
+                self.bad_pages.insert(addr, ());
+                return Err(FlashError::Uncorrectable(addr));
+            }
+            if f.transient_read_p > 0.0 && f.rng.gen_bool(f.transient_read_p) {
+                // This read fails; sometimes the glitch lingers for one
+                // more attempt before the retry succeeds.
+                if f.rng.gen_bool(0.25) {
+                    f.transient.insert(addr, 1);
+                }
+                f.stats.transient_failures += 1;
+                return Err(FlashError::TransientRead(addr));
+            }
+            if f.sticky_correctable.contains_key(&addr)
+                || (f.correctable_p > 0.0 && f.rng.gen_bool(f.correctable_p))
+            {
+                f.stats.correctable_hits += 1;
+                *f.correctable_counts.entry(addr).or_insert(0) += 1;
+                ecc_penalty_ns = ECC_CORRECTION_NS;
+            }
+        }
+        // tR (+ any ECC correction) on the LUN, then channel bus, then
+        // controller DMA.
         let li = self.lun_index(addr);
-        let (_, array_done) = self.luns[li].schedule(now, self.cfg.page_read_ns);
+        let (_, array_done) = self.luns[li].schedule(now, self.cfg.page_read_ns + ecc_penalty_ns);
         let (_, bus_done) = self.channels[usize::from(addr.channel)]
             .transfer(array_done, u64::from(self.cfg.page_bytes));
         let ctrl = usize::from(self.controller_of(addr.channel));
-        let (_, dma_done) = self.controllers[ctrl].transfer(bus_done, u64::from(self.cfg.page_bytes));
+        let (_, dma_done) =
+            self.controllers[ctrl].transfer(bus_done, u64::from(self.cfg.page_bytes));
         self.reads += 1;
         Ok((dma_done, &self.pages[&addr]))
     }
 
-    /// Mark a page as failing with uncorrectable ECC errors
-    /// (fault-injection hook used by the reliability tests).
-    pub fn inject_bad_page(&mut self, addr: PhysAddr) {
-        self.bad_pages.insert(addr, ());
+    /// Install a fault plan: seeds the per-array RNG streams, arms the
+    /// power cut and applies the explicit schedule. Replaces any
+    /// previously installed state.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        let mut st = FlashFaultState::from_plan(plan);
+        for s in &plan.schedule {
+            match s.kind {
+                FlashFaultKind::Transient { failures } => {
+                    if failures > 0 {
+                        st.transient.insert(s.addr, failures);
+                    }
+                }
+                FlashFaultKind::Persistent => {
+                    self.bad_pages.insert(s.addr, ());
+                    st.stats.grown_bad_pages += 1;
+                }
+                FlashFaultKind::Correctable => {
+                    st.sticky_correctable.insert(s.addr, ());
+                }
+            }
+        }
+        self.faults = Some(st);
     }
 
-    /// Clear an injected fault.
+    /// Drop all fault state (pages already grown bad stay bad: that is
+    /// physical damage, not injection bookkeeping).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Explicitly inject one fault at `addr`. Transient faults clear
+    /// after their failure budget; persistent faults last until
+    /// [`FlashArray::heal_page`]; correctable faults hit every read of
+    /// the page until repaired.
+    pub fn inject_fault(&mut self, addr: PhysAddr, kind: FlashFaultKind) {
+        match kind {
+            FlashFaultKind::Persistent => {
+                self.bad_pages.insert(addr, ());
+            }
+            FlashFaultKind::Transient { failures } => {
+                if failures > 0 {
+                    self.ensure_fault_state().transient.insert(addr, failures);
+                }
+            }
+            FlashFaultKind::Correctable => {
+                self.ensure_fault_state().sticky_correctable.insert(addr, ());
+            }
+        }
+    }
+
+    fn ensure_fault_state(&mut self) -> &mut FlashFaultState {
+        self.faults.get_or_insert_with(|| FlashFaultState::from_plan(&FaultPlan::default()))
+    }
+
+    /// Mark a page as failing with uncorrectable ECC errors. Persistent:
+    /// reads fail until [`FlashArray::heal_page`]; retries and reboots
+    /// do not help.
+    pub fn inject_bad_page(&mut self, addr: PhysAddr) {
+        self.inject_fault(addr, FlashFaultKind::Persistent);
+    }
+
+    /// Explicitly repair a persistent fault (models factory-style
+    /// remapping; the resilience layer instead *relocates* the logical
+    /// data and leaves the physical page bad).
     pub fn heal_page(&mut self, addr: PhysAddr) {
         self.bad_pages.remove(&addr);
+    }
+
+    /// Power restored after a cut: later operations succeed again.
+    /// Transient glitch state clears with the power rail; grown bad
+    /// pages, degradation counters and torn page contents persist.
+    pub fn reboot(&mut self) {
+        if let Some(f) = &mut self.faults {
+            f.power_is_cut = false;
+            f.writes_until_cut = None;
+            f.transient.clear();
+        }
+    }
+
+    /// True while a struck power cut keeps the array offline.
+    pub fn power_is_cut(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.power_is_cut)
+    }
+
+    /// Pages whose ECC-correction count has reached `threshold`
+    /// (read-repair candidates), in deterministic address order.
+    pub fn degrading_pages(&self, threshold: u32) -> Vec<PhysAddr> {
+        let Some(f) = &self.faults else { return Vec::new() };
+        let mut v: Vec<PhysAddr> = f
+            .correctable_counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(&a, _)| a)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Forget degradation history for `addr` after its data was
+    /// relocated (the physical page may still be failing; it simply no
+    /// longer holds live data).
+    pub fn mark_repaired(&mut self, addr: PhysAddr) {
+        if let Some(f) = &mut self.faults {
+            f.correctable_counts.remove(&addr);
+            f.sticky_correctable.remove(&addr);
+            f.transient.remove(&addr);
+        }
+    }
+
+    /// Fault counters since install (zeros when no plan is installed).
+    pub fn fault_stats(&self) -> FlashFaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Pages read/programmed so far.
@@ -245,19 +454,13 @@ mod tests {
     #[test]
     fn unwritten_page_read_fails() {
         let mut f = FlashArray::new(FlashConfig::default());
-        assert_eq!(
-            f.read_page(addr(0, 0, 5), 0),
-            Err(FlashError::Unwritten(addr(0, 0, 5)))
-        );
+        assert_eq!(f.read_page(addr(0, 0, 5), 0), Err(FlashError::Unwritten(addr(0, 0, 5))));
     }
 
     #[test]
     fn out_of_range_is_rejected() {
         let mut f = FlashArray::new(FlashConfig::default());
-        assert!(matches!(
-            f.program_page(addr(99, 0, 0), b"x", 0),
-            Err(FlashError::OutOfRange(_))
-        ));
+        assert!(matches!(f.program_page(addr(99, 0, 0), b"x", 0), Err(FlashError::OutOfRange(_))));
         assert!(matches!(f.read_page(addr(0, 99, 0), 0), Err(FlashError::OutOfRange(_))));
     }
 
@@ -316,6 +519,114 @@ mod tests {
         assert_eq!(f.controller_of(3), 0);
         assert_eq!(f.controller_of(4), 1);
         assert_eq!(f.controller_of(7), 1);
+    }
+
+    #[test]
+    fn transient_fault_clears_after_its_failure_budget() {
+        let mut f = FlashArray::new(FlashConfig::default());
+        let a = addr(2, 0, 3);
+        f.program_page(a, b"payload", 0).unwrap();
+        f.inject_fault(a, FlashFaultKind::Transient { failures: 2 });
+        assert_eq!(f.read_page(a, 0).unwrap_err(), FlashError::TransientRead(a));
+        assert_eq!(f.read_page(a, 0).unwrap_err(), FlashError::TransientRead(a));
+        let (_, data) = f.read_page(a, 0).unwrap();
+        assert_eq!(&data[..7], b"payload");
+        assert_eq!(f.fault_stats().transient_failures, 2);
+    }
+
+    #[test]
+    fn persistent_fault_survives_retries_and_reboot() {
+        let mut f = FlashArray::new(FlashConfig::default());
+        let a = addr(0, 2, 9);
+        f.program_page(a, b"x", 0).unwrap();
+        f.inject_fault(a, FlashFaultKind::Persistent);
+        for _ in 0..3 {
+            assert_eq!(f.read_page(a, 0).unwrap_err(), FlashError::Uncorrectable(a));
+        }
+        f.reboot();
+        assert_eq!(f.read_page(a, 0).unwrap_err(), FlashError::Uncorrectable(a));
+    }
+
+    #[test]
+    fn correctable_fault_returns_data_with_latency_penalty() {
+        let mut clean = FlashArray::new(FlashConfig::default());
+        let mut faulty = FlashArray::new(FlashConfig::default());
+        let a = addr(3, 1, 4);
+        clean.program_page(a, b"ecc", 0).unwrap();
+        faulty.program_page(a, b"ecc", 0).unwrap();
+        faulty.inject_fault(a, FlashFaultKind::Correctable);
+        let warm = 100_000_000;
+        let (t_clean, _) = clean.read_page(a, warm).unwrap();
+        let (t_faulty, data) = faulty.read_page(a, warm).unwrap();
+        assert_eq!(&data[..3], b"ecc");
+        assert_eq!(t_faulty - t_clean, ECC_CORRECTION_NS);
+        assert_eq!(faulty.fault_stats().correctable_hits, 1);
+        assert_eq!(faulty.degrading_pages(1), vec![a]);
+        assert!(faulty.degrading_pages(2).is_empty());
+        faulty.mark_repaired(a);
+        assert!(faulty.degrading_pages(1).is_empty());
+    }
+
+    #[test]
+    fn power_cut_tears_the_write_and_blocks_until_reboot() {
+        let mut f = FlashArray::new(FlashConfig::default());
+        f.install_faults(&FaultPlan {
+            seed: 11,
+            power_cut_at_write: Some(2),
+            ..FaultPlan::default()
+        });
+        f.program_page(addr(0, 0, 0), &[0xAA; 4096], 0).unwrap();
+        f.program_page(addr(0, 0, 1), &[0xBB; 4096], 0).unwrap();
+        // Third program is torn by the cut.
+        let torn = [0xCC; 4096];
+        assert_eq!(f.program_page(addr(0, 0, 2), &torn, 0).unwrap_err(), FlashError::PowerCut);
+        assert!(f.power_is_cut());
+        assert_eq!(f.read_page(addr(0, 0, 0), 0).unwrap_err(), FlashError::PowerCut);
+        assert_eq!(f.program_page(addr(0, 0, 3), b"x", 0).unwrap_err(), FlashError::PowerCut);
+        let stats = f.fault_stats();
+        assert_eq!(stats.torn_writes, 1);
+        assert!(stats.rejected_while_cut >= 2);
+
+        f.reboot();
+        // Pre-cut pages are intact; the torn page holds a strict prefix.
+        let (_, ok) = f.read_page(addr(0, 0, 1), 0).unwrap();
+        assert!(ok[..4096].iter().all(|&b| b == 0xBB));
+        let (_, t) = f.read_page(addr(0, 0, 2), 0).unwrap();
+        let prefix_len = t.iter().take_while(|&&b| b == 0xCC).count();
+        assert!(prefix_len < 4096, "the torn write must not be complete");
+        assert!(t[prefix_len..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_quiet_plan_is_transparent() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut f = FlashArray::new(FlashConfig::default());
+            if let Some(p) = plan {
+                f.install_faults(&p);
+            }
+            let mut log = Vec::new();
+            for i in 0..40u32 {
+                let a = addr((i % 4) as u16, 0, i);
+                f.program_page(a, &[i as u8; 64], 0).unwrap();
+            }
+            for round in 0..3 {
+                for i in 0..40u32 {
+                    let a = addr((i % 4) as u16, 0, i);
+                    log.push((round, i, f.read_page(a, 0).map(|(t, _)| t)));
+                }
+            }
+            log
+        };
+        let plan = FaultPlan {
+            seed: 99,
+            transient_read_p: 0.2,
+            correctable_p: 0.2,
+            bad_growth_p: 0.05,
+            ..FaultPlan::default()
+        };
+        assert_eq!(run(Some(plan.clone())), run(Some(plan)));
+        // A quiet plan (rates all zero) behaves exactly like no plan.
+        assert_eq!(run(Some(FaultPlan::quiet(1))), run(None));
     }
 
     #[test]

@@ -15,13 +15,17 @@
 //!   anchor Fig. 7's absolute runtimes;
 //! * [`server`]/[`events`] — the queueing/event primitives everything is
 //!   built from;
-//! * [`platform`] — the assembled device ([`CosmosPlatform`]).
+//! * [`platform`] — the assembled device ([`CosmosPlatform`]);
+//! * [`faults`] — deterministic, seeded fault injection ([`FaultPlan`]):
+//!   transient/persistent/correctable flash faults, DRAM stall bursts,
+//!   PE hangs and power cuts, with zero overhead when disabled.
 //!
 //! Simulated time is in **nanoseconds** ([`SimNs`]); both PL clock
 //! domains are exact in ns (10 ns at 100 MHz, 4 ns at 250 MHz).
 
 pub mod dram;
 pub mod events;
+pub mod faults;
 pub mod flash;
 pub mod platform;
 pub mod server;
@@ -29,6 +33,7 @@ pub mod timing;
 
 pub use dram::Dram;
 pub use events::EventQueue;
+pub use faults::{FaultPlan, FaultRng, FlashFaultKind, ScheduledFault};
 pub use flash::{FlashArray, FlashConfig, FlashError, PhysAddr};
 pub use platform::{CosmosConfig, CosmosPlatform, FirmwareEra};
 pub use server::{BandwidthLink, Server};

@@ -8,6 +8,7 @@
 //! reliability").
 
 use crate::dram::Dram;
+use crate::faults::{FaultPlan, PeFaultState};
 use crate::flash::{FlashArray, FlashConfig};
 use crate::server::{BandwidthLink, Server};
 use crate::{timing, SimNs};
@@ -44,11 +45,7 @@ pub struct CosmosConfig {
 
 impl Default for CosmosConfig {
     fn default() -> Self {
-        Self {
-            flash: FlashConfig::default(),
-            dram_bytes: 64 << 20,
-            firmware: FirmwareEra::Updated,
-        }
+        Self { flash: FlashConfig::default(), dram_bytes: 64 << 20, firmware: FirmwareEra::Updated }
     }
 }
 
@@ -61,6 +58,9 @@ pub struct CosmosPlatform {
     /// NVMe link to the host.
     pub nvme: BandwidthLink,
     pub firmware: FirmwareEra,
+    /// PE-hang injection state; `None` (the default) means every
+    /// hang roll answers "no" without drawing randomness.
+    pe_faults: Option<PeFaultState>,
 }
 
 impl CosmosPlatform {
@@ -72,6 +72,7 @@ impl CosmosPlatform {
             arm: Server::new(),
             nvme: BandwidthLink::new(timing::NVME_LINK_BW),
             firmware: cfg.firmware,
+            pe_faults: None,
         }
     }
 
@@ -88,8 +89,44 @@ impl CosmosPlatform {
 
     /// ARM software filtering time for `bytes` of packed tuples.
     pub fn arm_filter_ns(&self, bytes: u64) -> SimNs {
-        (bytes * timing::ARM_FILTER_PS_PER_BYTE).div_ceil(1000)
-            + timing::ARM_SW_BLOCK_OVERHEAD_NS
+        (bytes * timing::ARM_FILTER_PS_PER_BYTE).div_ceil(1000) + timing::ARM_SW_BLOCK_OVERHEAD_NS
+    }
+
+    /// Install a fault plan device-wide: flash, DRAM port and PE hangs
+    /// all draw from independent streams of the plan's seed.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.flash.install_faults(plan);
+        self.dram.install_faults(plan);
+        self.pe_faults = Some(PeFaultState::from_plan(plan));
+    }
+
+    /// Drop all fault-injection state (flash damage already grown
+    /// persists, matching physical reality).
+    pub fn clear_faults(&mut self) {
+        self.flash.clear_faults();
+        self.dram.clear_faults();
+        self.pe_faults = None;
+    }
+
+    /// Roll whether the next hardware block job hangs (DONE never set).
+    /// The executor's watchdog decides what a hang *means*; the
+    /// platform only decides deterministically *whether* it happens.
+    pub fn roll_pe_hang(&mut self) -> bool {
+        match &mut self.pe_faults {
+            Some(f) if f.hang_p > 0.0 => {
+                let hang = f.rng.gen_bool(f.hang_p);
+                if hang {
+                    f.hangs += 1;
+                }
+                hang
+            }
+            _ => false,
+        }
+    }
+
+    /// PE hangs injected so far (zero when no plan is installed).
+    pub fn pe_hangs(&self) -> u64 {
+        self.pe_faults.as_ref().map_or(0, |f| f.hangs)
     }
 }
 

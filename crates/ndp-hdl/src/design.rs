@@ -35,10 +35,7 @@ pub enum Primitive {
         flexible: bool,
     },
     /// AXI4 Full master write channel (the Store Unit).
-    AxiStore {
-        data_bits: u32,
-        flexible: bool,
-    },
+    AxiStore { data_bits: u32, flexible: bool },
     /// Block buffer between the memory interface and the tuple buffers.
     /// Generated PEs back this with block RAM (the paper notes each
     /// generated accelerator uses a single BRAM, unlike [1]).
@@ -113,9 +110,7 @@ pub enum Primitive {
         postfix_bits: u32,
     },
     /// Status/result counter (e.g. `FILTER_COUNTER`).
-    Counter {
-        width: u32,
-    },
+    Counter { width: u32 },
     /// The Aggregation Unit (extension): a lane mux feeding an adder and
     /// a type-aware min/max comparator with a 64-bit accumulator.
     AggregateUnit {
@@ -127,17 +122,11 @@ pub enum Primitive {
         lanes: u32,
     },
     /// Control finite-state machine sequencing one unit.
-    ControlFsm {
-        states: u32,
-    },
+    ControlFsm { states: u32 },
     /// Fixed platform macro with externally known resource counts
     /// (NVMe core, Tiger4 flash controller, PS interconnect, ...).
     /// `slices`/`brams` are taken from the Cosmos+ baseline reports.
-    PlatformMacro {
-        name: &'static str,
-        slices: u32,
-        brams: u32,
-    },
+    PlatformMacro { name: &'static str, slices: u32, brams: u32 },
 }
 
 impl Primitive {
@@ -254,22 +243,15 @@ mod tests {
     }
 
     fn sample() -> Module {
-        Module::new("pe")
-            .prim("regs", Primitive::RegFile { n_regs: 16 })
-            .module(
-                "filter0",
-                Module::new("filter_unit")
-                    .prim("mux", Primitive::LaneMux { lanes: 3, lane_bits: 64 })
-                    .prim(
-                        "cmp",
-                        Primitive::CompareUnit {
-                            lane_bits: 64,
-                            n_ops: 7,
-                            signed: false,
-                            float: false,
-                        },
-                    ),
-            )
+        Module::new("pe").prim("regs", Primitive::RegFile { n_regs: 16 }).module(
+            "filter0",
+            Module::new("filter_unit")
+                .prim("mux", Primitive::LaneMux { lanes: 3, lane_bits: 64 })
+                .prim(
+                    "cmp",
+                    Primitive::CompareUnit { lane_bits: 64, n_ops: 7, signed: false, float: false },
+                ),
+        )
     }
 
     #[test]

@@ -160,26 +160,35 @@ pub fn primitive_resources(p: &Primitive) -> Resources {
         }
         Primitive::BlockBuffer { bytes, bram } => {
             if bram {
-                let brams =
-                    ((u64::from(bytes) * 8).div_ceil(calib::BRAM_BITS)).max(1) as u32;
+                let brams = ((u64::from(bytes) * 8).div_ceil(calib::BRAM_BITS)).max(1) as u32;
                 Resources { luts: 76.0, ffs: 90.0, brams, macro_slices: 0.0 }
             } else {
                 Resources::logic(f64::from(bytes) / 8.0 + 40.0, 80.0)
             }
         }
-        Primitive::TupleUnpack { word_bits, tuple_bits, lanes, lane_bits, postfix_bits, generated } => {
-            tuple_buffer(word_bits, tuple_bits, lanes, lane_bits, postfix_bits, 0.6, generated)
-        }
-        Primitive::TuplePack { word_bits, tuple_bits, lanes, lane_bits, postfix_bits, generated } => {
-            tuple_buffer(word_bits, tuple_bits, lanes, lane_bits, postfix_bits, 0.4, generated)
-        }
+        Primitive::TupleUnpack {
+            word_bits,
+            tuple_bits,
+            lanes,
+            lane_bits,
+            postfix_bits,
+            generated,
+        } => tuple_buffer(word_bits, tuple_bits, lanes, lane_bits, postfix_bits, 0.6, generated),
+        Primitive::TuplePack {
+            word_bits,
+            tuple_bits,
+            lanes,
+            lane_bits,
+            postfix_bits,
+            generated,
+        } => tuple_buffer(word_bits, tuple_bits, lanes, lane_bits, postfix_bits, 0.4, generated),
         Primitive::Fifo { width, depth } => {
             let w = f64::from(width);
             let srl_stages = f64::from(depth.div_ceil(32).max(1));
             Resources::logic(w / 2.0 * srl_stages + 16.0, w + 24.0)
         }
         Primitive::LaneMux { lanes, lane_bits } => {
-            let per_bit = f64::from(lanes.saturating_sub(1).div_ceil(3).max(0));
+            let per_bit = f64::from(lanes.saturating_sub(1).div_ceil(3));
             Resources::logic(
                 f64::from(lane_bits) * per_bit + 8.0,
                 f64::from(clog2(u64::from(lanes))) + 4.0,
@@ -205,7 +214,7 @@ pub fn primitive_resources(p: &Primitive) -> Resources {
             let w = f64::from(lane_bits);
             // Lane mux + 64-bit adder (carry chain) + compare + op decode
             // + accumulator register.
-            let mux = w * f64::from(lanes.saturating_sub(1).div_ceil(3).max(0));
+            let mux = w * f64::from(lanes.saturating_sub(1).div_ceil(3));
             Resources::logic(
                 mux + w / 2.0 + w / 2.0 + 2.0 * f64::from(n_ops) + 16.0,
                 2.0 * w + 16.0,
@@ -361,9 +370,8 @@ mod tests {
 
     #[test]
     fn lane_mux_cost_increases_stepwise_with_lanes() {
-        let mk = |lanes: u32| {
-            primitive_resources(&Primitive::LaneMux { lanes, lane_bits: 32 }).luts
-        };
+        let mk =
+            |lanes: u32| primitive_resources(&Primitive::LaneMux { lanes, lane_bits: 32 }).luts;
         assert_eq!(mk(1), 8.0); // pass-through
         assert_eq!(mk(4), 32.0 + 8.0);
         assert_eq!(mk(7), 64.0 + 8.0);

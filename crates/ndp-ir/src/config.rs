@@ -247,17 +247,14 @@ pub fn elaborate_with_custom_ops(
         .find_parser(parser_name)
         .ok_or_else(|| IrError::UnknownParser(parser_name.to_string()))?;
 
-    let input_tree =
-        scalarize(resolve_strings(build_tree(module, &spec.input, &spec.name)?));
-    let output_tree =
-        scalarize(resolve_strings(build_tree(module, &spec.output, &spec.name)?));
+    let input_tree = scalarize(resolve_strings(build_tree(module, &spec.input, &spec.name)?));
+    let output_tree = scalarize(resolve_strings(build_tree(module, &spec.output, &spec.name)?));
     let input = compute_layout(&spec.input, &input_tree)?;
     let output = compute_layout(&spec.output, &output_tree)?;
     let transform = derive_transform(&spec.name, &input, &output, &spec.mapping)?;
 
     let chunk_bytes = spec.chunk_kib * 1024;
-    if input.tuple_bytes() > u64::from(chunk_bytes)
-        || output.tuple_bytes() > u64::from(chunk_bytes)
+    if input.tuple_bytes() > u64::from(chunk_bytes) || output.tuple_bytes() > u64::from(chunk_bytes)
     {
         return Err(IrError::TupleLargerThanChunk {
             parser: spec.name.clone(),

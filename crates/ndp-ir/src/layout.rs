@@ -119,7 +119,14 @@ pub fn compute_layout(name: &str, node: &TypeNode) -> IrResult<TupleLayout> {
         }
     }
 
-    Ok(TupleLayout { name: name.to_string(), fields, tuple_bits: offset, lane_bits, lanes, postfix_bits })
+    Ok(TupleLayout {
+        name: name.to_string(),
+        fields,
+        tuple_bits: offset,
+        lane_bits,
+        lanes,
+        postfix_bits,
+    })
 }
 
 fn flatten(node: &TypeNode, prefix: String, offset: &mut u64, out: &mut Vec<FieldLayout>) {

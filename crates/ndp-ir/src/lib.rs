@@ -26,7 +26,9 @@ pub mod mapping;
 pub mod passes;
 pub mod tree;
 
-pub use config::{elaborate, elaborate_all, elaborate_with_custom_ops, AggOp, CmpOp, OpSpec, PeConfig};
+pub use config::{
+    elaborate, elaborate_all, elaborate_with_custom_ops, AggOp, CmpOp, OpSpec, PeConfig,
+};
 pub use error::{IrError, IrResult};
 pub use layout::{FieldLayout, TupleLayout};
 pub use mapping::{FieldMove, TransformPlan};

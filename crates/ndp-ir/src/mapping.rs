@@ -140,16 +140,10 @@ mod tests {
 
     fn layouts(src: &str, a: &str, b: &str) -> (SpecModule, TupleLayout, TupleLayout) {
         let m = parse(src).unwrap();
-        let la = compute_layout(
-            a,
-            &scalarize(resolve_strings(build_tree(&m, a, "t").unwrap())),
-        )
-        .unwrap();
-        let lb = compute_layout(
-            b,
-            &scalarize(resolve_strings(build_tree(&m, b, "t").unwrap())),
-        )
-        .unwrap();
+        let la = compute_layout(a, &scalarize(resolve_strings(build_tree(&m, a, "t").unwrap())))
+            .unwrap();
+        let lb = compute_layout(b, &scalarize(resolve_strings(build_tree(&m, b, "t").unwrap())))
+            .unwrap();
         (m, la, lb)
     }
 

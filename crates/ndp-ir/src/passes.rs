@@ -28,9 +28,9 @@ pub fn resolve_strings(node: TypeNode) -> TypeNode {
                 ])
             }
         }
-        TypeNode::Struct(fields) => TypeNode::Struct(
-            fields.into_iter().map(|(n, t)| (n, resolve_strings(t))).collect(),
-        ),
+        TypeNode::Struct(fields) => {
+            TypeNode::Struct(fields.into_iter().map(|(n, t)| (n, resolve_strings(t))).collect())
+        }
         TypeNode::Array(elem, n) => TypeNode::Array(Box::new(resolve_strings(*elem)), n),
         leaf @ (TypeNode::Prim(_) | TypeNode::Postfix { .. }) => leaf,
     }
@@ -122,10 +122,8 @@ mod tests {
 
     #[test]
     fn scalarize_flattens_1d_array() {
-        let t = TypeNode::Struct(vec![(
-            "v".into(),
-            TypeNode::Array(Box::new(prim(PrimTy::U32)), 2),
-        )]);
+        let t =
+            TypeNode::Struct(vec![("v".into(), TypeNode::Array(Box::new(prim(PrimTy::U32)), 2))]);
         let r = scalarize(t.clone());
         assert_eq!(
             r,

@@ -99,9 +99,7 @@ fn build_struct(
                     TypeNode::StrArray { prefix_bytes: prefix, total_bytes: total }
                 }
             }
-            (TypeExpr::Prim(p), None) => {
-                wrap_dims(TypeNode::Prim(*p), &f.dims)
-            }
+            (TypeExpr::Prim(p), None) => wrap_dims(TypeNode::Prim(*p), &f.dims),
             (TypeExpr::Named(inner_name), None) => {
                 if stack.contains(inner_name) {
                     let mut path = stack.clone();

@@ -143,11 +143,7 @@ impl PeSim {
             ndp_ir::AggOp::from_code(self.regs.agg_op)
                 .filter(|op| self.cfg.supports_aggregate(*op))
                 .and_then(|op| {
-                    crate::oracle::AggAccumulator::new(
-                        &self.processor,
-                        op,
-                        self.regs.agg_field,
-                    )
+                    crate::oracle::AggAccumulator::new(&self.processor, op, self.regs.agg_field)
                 })
         } else {
             None
@@ -184,8 +180,7 @@ impl PeSim {
 
         loop {
             cycles += 1;
-            let upstream_empty = |stage_q: &Vec<VecDeque<Vec<u8>>>,
-                                  parsed: &VecDeque<Vec<u8>>| {
+            let upstream_empty = |stage_q: &Vec<VecDeque<Vec<u8>>>, parsed: &VecDeque<Vec<u8>>| {
                 parsed.is_empty() && stage_q.iter().all(VecDeque::is_empty)
             };
 
@@ -214,11 +209,11 @@ impl PeSim {
             }
 
             // --- Tuple Output Buffer: serialize one tuple per cycle.
-            if transformed.front().is_some() {
-                if out_bytes.len() + out_tuple <= BYTE_BUF.max(out_tuple + 8) {
-                    let t = transformed.pop_front().unwrap();
-                    out_bytes.extend(t.iter());
-                }
+            if transformed.front().is_some()
+                && out_bytes.len() + out_tuple <= BYTE_BUF.max(out_tuple + 8)
+            {
+                let t = transformed.pop_front().unwrap();
+                out_bytes.extend(t.iter());
             }
 
             // --- Data Transformation Unit: one tuple per cycle.
@@ -247,14 +242,11 @@ impl PeSim {
                 };
                 if let Some(tuple) = tuple {
                     let rule = rules[s];
-                    if self.processor.tuple_passes(&tuple, std::slice::from_ref(&rule), &self.ops)
-                    {
+                    if self.processor.tuple_passes(&tuple, std::slice::from_ref(&rule), &self.ops) {
                         if s == stages - 1 {
                             res.tuples_out += 1;
                             if let Some(acc) = agg.as_mut() {
-                                if let Some(v) =
-                                    self.processor.lane_value(&tuple, acc.lane)
-                                {
+                                if let Some(v) = self.processor.lane_value(&tuple, acc.lane) {
                                     acc.update(v);
                                 }
                             }
@@ -277,9 +269,7 @@ impl PeSim {
 
             // --- Load Unit: one 64-bit beat per cycle after the initial
             // AXI latency.
-            if cycles > MEM_LATENCY_CYCLES
-                && load_remaining > 0
-                && in_bytes.len() + 8 <= in_buf_cap
+            if cycles > MEM_LATENCY_CYCLES && load_remaining > 0 && in_bytes.len() + 8 <= in_buf_cap
             {
                 let n = load_remaining.min(8) as usize;
                 mem.read_bytes(load_addr, &mut tmp[..n]);
@@ -471,16 +461,30 @@ mod tests {
     #[test]
     fn cycle_model_matches_oracle_semantics() {
         // Cross-validate the tick-based pipeline against the byte-level
-        // oracle on a randomized block.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        // oracle on a randomized block (local SplitMix64; the workspace
+        // builds offline with no external rand crate).
+        struct Rng(u64);
+        impl Rng {
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+            fn gen_u32(&mut self, bound: u32) -> u32 {
+                ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u32
+            }
+        }
+        let mut rng = Rng(0xC0FFEE);
         let cfg = elaborate(&parse(POINTS).unwrap(), "P").unwrap();
         let mut pe = PeSim::new(cfg.clone());
         let bp = crate::oracle::BlockProcessor::new(&cfg);
         let ops = crate::oracle::OpTable::from_config(&cfg);
 
-        let pts: Vec<(u32, u32, u32)> =
-            (0..257).map(|_| (rng.gen_range(0..100), rng.gen(), rng.gen())).collect();
+        let pts: Vec<(u32, u32, u32)> = (0..257)
+            .map(|_| (rng.gen_u32(100), rng.next_u64() as u32, rng.next_u64() as u32))
+            .collect();
         let mut mem = VecMem::new(1 << 16);
         let len = write_points(&mut mem, 0, &pts);
         let lt = cfg.op_code("lt").unwrap();
@@ -597,15 +601,7 @@ mod tests {
         let mut res = Vec::new();
         for src in [one, five] {
             let mut pe = make_pe(src, "F");
-            res.push(run(
-                &mut pe,
-                &mut mem,
-                0,
-                bytes.len() as u32,
-                0x80000,
-                1 << 18,
-                &[],
-            ));
+            res.push(run(&mut pe, &mut mem, 0, bytes.len() as u32, 0x80000, 1 << 18, &[]));
         }
         let delta = res[1].cycles as i64 - res[0].cycles as i64;
         assert!((0..=8).contains(&delta), "5-stage pipeline cost {delta} extra cycles");

@@ -105,10 +105,7 @@ impl LayoutCodec {
     /// the padded representation.
     pub fn unpack(&self, bytes: &[u8]) -> Tuple {
         debug_assert_eq!(bytes.len(), self.tuple_bytes);
-        let mut t = Tuple {
-            lanes: vec![0; self.lanes],
-            postfix: vec![0; self.postfix_bytes],
-        };
+        let mut t = Tuple { lanes: vec![0; self.lanes], postfix: vec![0; self.postfix_bytes] };
         self.unpack_into(bytes, &mut t);
         t
     }
@@ -194,13 +191,9 @@ pub fn apply_transform(
             (Slot::Lane { lane: dl, .. }, Slot::Lane { lane: sl, .. }) => {
                 output.lanes[dl as usize] = input.lanes[sl as usize];
             }
-            (
-                Slot::Postfix { offset: doff, len },
-                Slot::Postfix { offset: soff, len: slen },
-            ) => {
+            (Slot::Postfix { offset: doff, len }, Slot::Postfix { offset: soff, len: slen }) => {
                 debug_assert_eq!(len, slen, "mapping validation guarantees equal widths");
-                output.postfix[doff..doff + len]
-                    .copy_from_slice(&input.postfix[soff..soff + len]);
+                output.postfix[doff..doff + len].copy_from_slice(&input.postfix[soff..soff + len]);
             }
             _ => unreachable!("mapping validation rejects lane/postfix mixes"),
         }

@@ -20,11 +20,7 @@ pub struct SpecError {
 impl SpecError {
     /// Build an error at `span`, extracting the offending line from `source`.
     pub fn new(message: impl Into<String>, span: Span, source: &str) -> Self {
-        let source_line = source
-            .lines()
-            .nth(span.line.saturating_sub(1))
-            .unwrap_or("")
-            .to_string();
+        let source_line = source.lines().nth(span.line.saturating_sub(1)).unwrap_or("").to_string();
         Self { message: message.into(), span, source_line }
     }
 
@@ -62,7 +58,11 @@ mod tests {
         assert!(rendered.contains("unknown keyword"));
         assert!(rendered.contains("typedef strct"));
         let caret_line = rendered.lines().last().unwrap();
-        assert_eq!(caret_line.find('^').unwrap(), 4 + 8, "caret under column 9 after the `  | ` gutter");
+        assert_eq!(
+            caret_line.find('^').unwrap(),
+            4 + 8,
+            "caret under column 9 after the `  | ` gutter"
+        );
     }
 
     #[test]

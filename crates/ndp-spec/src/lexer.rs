@@ -248,9 +248,9 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = &self.src[start..self.pos];
-        let value: u64 = text
-            .parse()
-            .map_err(|_| SpecError::new(format!("integer literal `{text}` out of range"), span, self.src))?;
+        let value: u64 = text.parse().map_err(|_| {
+            SpecError::new(format!("integer literal `{text}` out of range"), span, self.src)
+        })?;
         Ok(Token { kind: TokenKind::Int(value), span })
     }
 

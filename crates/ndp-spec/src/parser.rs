@@ -100,10 +100,8 @@ impl<'a> Parser<'a> {
                     module.structs.push(self.parse_typedef()?);
                 }
                 other => {
-                    return Err(self.err(
-                        format!("expected `typedef` or annotation, found {other}"),
-                        t.span,
-                    ));
+                    return Err(self
+                        .err(format!("expected `typedef` or annotation, found {other}"), t.span));
                 }
             }
         }
@@ -188,10 +186,9 @@ impl<'a> Parser<'a> {
         // Duplicate field names within one struct.
         for (i, f) in fields.iter().enumerate() {
             if fields[..i].iter().any(|g| g.name == f.name) {
-                return Err(self.err(
-                    format!("duplicate field `{}` in struct `{name}`", f.name),
-                    f.span,
-                ));
+                return Err(
+                    self.err(format!("duplicate field `{}` in struct `{name}`", f.name), f.span)
+                );
             }
         }
         Ok(StructDef { name, fields, span })
@@ -400,10 +397,9 @@ impl<'a> Parser<'a> {
     fn parse_qualified_path(&mut self, root: &str) -> SpecResult<(FieldPath, Span)> {
         let (head, span) = self.expect_ident(&format!("`{root}.<field>` path"))?;
         if head != root {
-            return Err(self.err(
-                format!("mapping paths must start with `{root}.`, found `{head}`"),
-                span,
-            ));
+            return Err(
+                self.err(format!("mapping paths must start with `{root}.`, found `{head}`"), span)
+            );
         }
         let mut segs = Vec::new();
         while self.peek().kind == TokenKind::Dot {
@@ -504,13 +500,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn set_once<T>(
-    slot: &mut Option<T>,
-    value: T,
-    key: &str,
-    span: Span,
-    src: &str,
-) -> SpecResult<()> {
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str, span: Span, src: &str) -> SpecResult<()> {
     if slot.is_some() {
         return Err(SpecError::new(format!("duplicate key `{key}`"), span, src));
     }
@@ -614,10 +604,7 @@ mod tests {
         let m = parse_module(src).unwrap();
         let p = &m.parsers[0];
         assert_eq!(p.stages, 3);
-        assert_eq!(
-            p.operators.as_deref().unwrap(),
-            ["eq", "ne", "gt", "custom_popcnt"]
-        );
+        assert_eq!(p.operators.as_deref().unwrap(), ["eq", "ne", "gt", "custom_popcnt"]);
     }
 
     #[test]

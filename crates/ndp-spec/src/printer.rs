@@ -65,11 +65,7 @@ pub fn print_struct(s: &StructDef) -> String {
         let dims: String = f.dims.iter().map(|d| format!("[{d}]")).collect();
         match f.string_prefix {
             Some(n) => {
-                let _ = writeln!(
-                    out,
-                    "    /* @string(prefix = {n}) */ {ty} {}{dims};",
-                    f.name
-                );
+                let _ = writeln!(out, "    /* @string(prefix = {n}) */ {ty} {}{dims};", f.name);
             }
             None => {
                 let _ = writeln!(out, "    {ty} {}{dims};", f.name);

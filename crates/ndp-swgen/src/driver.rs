@@ -81,7 +81,13 @@ pub struct PeDriver<P: PeDevice> {
 impl<P: PeDevice> PeDriver<P> {
     /// Wrap a PE device.
     pub fn new(pe: P, profile: DriverProfile) -> Self {
-        Self { pe, profile, total_io: IoStats::default(), last_rules: None, last_job_aggregated: false }
+        Self {
+            pe,
+            profile,
+            total_io: IoStats::default(),
+            last_rules: None,
+            last_job_aggregated: false,
+        }
     }
 
     /// Access the wrapped device.
@@ -363,10 +369,7 @@ mod tests {
         let res = drv.filter_sync(&mut mem, &job);
         assert_eq!(res.tuples_out, 5);
         // Rewriting with a different predicate takes effect.
-        let job2 = FilterJob {
-            rules: vec![FilterRule { lane: 0, op_code: lt, value: 2 }],
-            ..job
-        };
+        let job2 = FilterJob { rules: vec![FilterRule { lane: 0, op_code: lt, value: 2 }], ..job };
         let res2 = drv.filter_sync(&mut mem, &job2);
         assert_eq!(res2.tuples_out, 2);
     }

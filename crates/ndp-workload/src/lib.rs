@@ -19,7 +19,9 @@
 //! materialization and any sub-range can be regenerated for verification.
 
 pub mod pubgraph;
+pub mod rng;
 pub mod spec;
 
 pub use pubgraph::{Paper, PaperGen, PubGraphConfig, Ref, RefGen};
+pub use rng::SplitMix64;
 pub use spec::{PAPER_PE, PAPER_REF_SPEC, REF_PE};

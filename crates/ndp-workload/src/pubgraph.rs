@@ -1,7 +1,6 @@
 //! Seeded streaming generators for the publication graph.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Full-size cardinalities from the paper's evaluation.
 pub const FULL_PAPERS: u64 = 3_775_161;
@@ -112,12 +111,8 @@ impl PubGraphConfig {
 }
 
 /// Deterministic per-index RNG: record `i` depends only on `(seed, i)`.
-fn rng_for(seed: u64, stream: u64, index: u64) -> StdRng {
-    // SplitMix-style mixing gives independent streams per record.
-    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+fn rng_for(seed: u64, stream: u64, index: u64) -> SplitMix64 {
+    SplitMix64::for_record(seed, stream, index)
 }
 
 /// Streaming paper generator: ids are sequential (1-based), so records
@@ -137,13 +132,13 @@ impl PaperGen {
     pub fn paper_at(cfg: &PubGraphConfig, i: u64) -> Paper {
         let mut rng = rng_for(cfg.seed, 1, i);
         let id = i + 1;
-        let year = 1950 + (rng.gen_range(0.0f64..1.0).powi(2) * 71.0) as u32; // skewed to recent
-        let venue = rng.gen_range(0..5000);
-        let n_cits = rng.gen_range(0..2000);
-        let n_refs = (cfg.refs / cfg.papers.max(1)) as u32 + rng.gen_range(0..8);
+        let year = 1950 + (rng.f64_unit().powi(2) * 71.0) as u32; // skewed to recent
+        let venue = rng.gen_u32(5000);
+        let n_cits = rng.gen_u32(2000);
+        let n_refs = (cfg.refs / cfg.papers.max(1)) as u32 + rng.gen_u32(8);
         let mut title = [0u8; 56];
         // Readable synthetic titles: "paperNNNNNNNN: <random words>".
-        let head = format!("p{id:07}: study of topic {:04}", rng.gen_range(0..10_000));
+        let head = format!("p{id:07}: study of topic {:04}", rng.gen_u32(10_000));
         let n = head.len().min(56);
         title[..n].copy_from_slice(&head.as_bytes()[..n]);
         Paper { id, year, venue, n_cits, n_refs, title }
@@ -216,9 +211,9 @@ impl Iterator for RefGen {
         let src = self.src_index + 1;
         // Skew destinations toward low ids; sort within a source by
         // generating an increasing sequence.
-        let dst_base = (rng.gen_range(0.0f64..1.0).powi(3) * self.cfg.papers as f64) as u64 + 1;
+        let dst_base = (rng.f64_unit().powi(3) * self.cfg.papers as f64) as u64 + 1;
         let dst = dst_base.min(self.cfg.papers);
-        let year = 1950 + rng.gen_range(0..71);
+        let year = 1950 + rng.gen_u32(71);
         self.within += 1;
         self.emitted += 1;
         Some(Ref { src, dst, year })

@@ -7,10 +7,11 @@
 //! advances the device's simulated clock and returns a [`SimReport`].
 
 use crate::error::{NkvError, NkvResult};
-use crate::exec::{self, ExecMode, SimReport, TableExec};
+use crate::exec::{self, ExecMode, HealthCounters, ResilienceConfig, SimReport, TableExec};
 use crate::lsm::{LsmConfig, LsmTree};
 use crate::placement::PageAllocator;
 use crate::sst::SstBuilder;
+use cosmos_sim::faults::{DramFaultStats, FlashFaultStats};
 use cosmos_sim::{CosmosConfig, CosmosPlatform, Server, SimNs};
 use ndp_ir::PeConfig;
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
@@ -39,6 +40,9 @@ pub struct TableConfig {
     pub unique_keys: bool,
     /// LSM tuning.
     pub lsm: LsmConfig,
+    /// Device-side fault policy (retry budget, PE watchdog, HW→SW
+    /// degradation switch).
+    pub resilience: ResilienceConfig,
 }
 
 impl TableConfig {
@@ -51,6 +55,7 @@ impl TableConfig {
             cycle_accurate: false,
             unique_keys: true,
             lsm: LsmConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -72,12 +77,43 @@ pub struct ScanSummary {
     pub report: SimReport,
 }
 
+/// Device-wide health summary: injected-fault counters from the
+/// platform plus the resilience layer's reaction counters, aggregated
+/// over every table (see [`HealthCounters`] for the per-table view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Flash-level fault counters (transient/correctable/grown-bad/torn).
+    pub flash: FlashFaultStats,
+    /// DRAM-port stall counters.
+    pub dram: DramFaultStats,
+    /// PE hangs injected by the platform's fault plan.
+    pub pe_hangs_injected: u64,
+    /// Reads retried after transient failures.
+    pub read_retries: u64,
+    /// Simulated time spent in retry backoff.
+    pub retry_backoff_ns: SimNs,
+    /// Reads abandoned after the retry budget.
+    pub reads_failed: u64,
+    /// Watchdog timeouts on PE DONE polls.
+    pub watchdog_trips: u64,
+    /// Blocks degraded to the ARM software oracle.
+    pub sw_fallback_blocks: u64,
+    /// PEs currently retired by the watchdog.
+    pub pes_failed: u64,
+    /// Degrading pages relocated by [`NkvDb::read_repair`].
+    pub pages_repaired: u64,
+}
+
 /// The device-level database.
 pub struct NkvDb {
     platform: CosmosPlatform,
     alloc: PageAllocator,
     tables: HashMap<String, Table>,
     clock: SimNs,
+    /// Epoch of the newest persisted manifest (0 = never persisted).
+    manifest_epoch: u64,
+    /// Pages relocated by read-repair since creation/recovery.
+    pages_repaired: u64,
 }
 
 impl NkvDb {
@@ -85,7 +121,14 @@ impl NkvDb {
     pub fn new(cfg: CosmosConfig) -> Self {
         let platform = CosmosPlatform::new(cfg);
         let alloc = PageAllocator::new(platform.flash.config());
-        Self { platform, alloc, tables: HashMap::new(), clock: 0 }
+        Self {
+            platform,
+            alloc,
+            tables: HashMap::new(),
+            clock: 0,
+            manifest_epoch: 0,
+            pages_repaired: 0,
+        }
     }
 
     /// Create a database with default platform configuration.
@@ -101,6 +144,98 @@ impl NkvDb {
     /// Access the underlying platform (diagnostics, fault injection).
     pub fn platform_mut(&mut self) -> &mut CosmosPlatform {
         &mut self.platform
+    }
+
+    /// Device-wide health summary: injected faults plus the resilience
+    /// layer's reactions, aggregated over all tables.
+    pub fn health_report(&self) -> HealthReport {
+        let mut r = HealthReport {
+            flash: self.platform.flash.fault_stats(),
+            dram: self.platform.dram.fault_stats(),
+            pe_hangs_injected: self.platform.pe_hangs(),
+            pages_repaired: self.pages_repaired,
+            ..HealthReport::default()
+        };
+        for t in self.tables.values() {
+            let h = t.exec.health;
+            r.read_retries += h.read_retries;
+            r.retry_backoff_ns += h.retry_backoff_ns;
+            r.reads_failed += h.reads_failed;
+            r.watchdog_trips += h.watchdog_trips;
+            r.sw_fallback_blocks += h.sw_fallback_blocks;
+            r.pes_failed += t.exec.failed_pes() as u64;
+        }
+        r
+    }
+
+    /// Per-table resilience counters.
+    pub fn table_health(&self, table: &str) -> NkvResult<HealthCounters> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        Ok(t.exec.health)
+    }
+
+    /// Bring a table's watchdog-retired PEs back into rotation (models a
+    /// PL reconfiguration of the hung accelerators).
+    pub fn reset_pes(&mut self, table: &str) -> NkvResult<()> {
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        t.exec.reset_failed_pes();
+        Ok(())
+    }
+
+    /// Read-repair: relocate every page whose ECC-correction count
+    /// reached `threshold` before it degrades into a grown bad page.
+    /// Each page's (still correctable) content is copied to a freshly
+    /// allocated page, all SST metadata references are rewired, affected
+    /// index blocks are rewritten, and the manifest is re-persisted so
+    /// the relocation survives a power cycle. Returns the number of
+    /// pages relocated.
+    pub fn read_repair(&mut self, threshold: u32) -> NkvResult<u64> {
+        let degrading = self.platform.flash.degrading_pages(threshold);
+        if degrading.is_empty() {
+            return Ok(0);
+        }
+        let mut moved = 0u64;
+        let mut stale_indexes: Vec<(String, u64)> = Vec::new();
+        for addr in degrading {
+            let referenced = self.tables.values().any(|t| t.lsm.references_page(addr));
+            if !referenced {
+                // Not table data (e.g. a manifest page rewritten in place
+                // on every persist): refreshing the cells is enough.
+                self.platform.flash.mark_repaired(addr);
+                continue;
+            }
+            // The page is degrading but still correctable: copy it out.
+            let (t_read, data) = match self.platform.flash.read_page(addr, self.clock) {
+                Ok((t, d)) => (t, d.to_vec()),
+                Err(_) => continue, // already unreadable; repair cannot help
+            };
+            let new = self.alloc.alloc_block(0, 1).ok_or(NkvError::OutOfSpace)?[0];
+            let t_prog = self.platform.flash.program_page(new, &data, t_read)?;
+            self.clock = self.clock.max(t_prog);
+            for (name, table) in self.tables.iter_mut() {
+                for id in table.lsm.relocate_page(addr, new) {
+                    stale_indexes.push((name.clone(), id));
+                }
+            }
+            self.platform.flash.mark_repaired(addr);
+            self.pages_repaired += 1;
+            moved += 1;
+        }
+        // Data pages moved: the on-flash index blocks listing them are
+        // stale. Rewrite them and re-point the manifest.
+        if !stale_indexes.is_empty() {
+            stale_indexes.sort();
+            stale_indexes.dedup();
+            for (name, id) in stale_indexes {
+                let now = self.clock;
+                let t = self.tables.get_mut(&name).expect("collected from this map");
+                let done =
+                    t.lsm.rewrite_index(&mut self.platform.flash, &mut self.alloc, id, now)?;
+                self.clock = self.clock.max(done);
+            }
+            self.persist()?;
+        }
+        Ok(moved)
     }
 
     /// Create a table driven by the given PE configuration.
@@ -121,8 +256,7 @@ impl NkvDb {
             drivers.push(PeDriver::new(dev, profile));
         }
         let n = drivers.len();
-        let full_block_payload =
-            (cfg.pe.chunk_bytes / record_bytes as u32) * record_bytes as u32;
+        let full_block_payload = (cfg.pe.chunk_bytes / record_bytes as u32) * record_bytes as u32;
         let table = Table {
             unique_keys: cfg.unique_keys,
             lsm: LsmTree::new(
@@ -146,6 +280,9 @@ impl NkvDb {
                 chunk_bytes: cfg.pe.chunk_bytes,
                 reconcile: cfg.unique_keys,
                 aggregates: cfg.pe.aggregates.clone(),
+                resilience: cfg.resilience,
+                health: HealthCounters::default(),
+                pe_failed: vec![false; n],
             },
         };
         self.tables.insert(name.to_string(), table);
@@ -322,7 +459,16 @@ impl NkvDb {
                 agg.name()
             )));
         }
-        let out = exec::scan_aggregate(&mut self.platform, &t.lsm, &mut t.exec, rules, agg, lane, mode, now)?;
+        let out = exec::scan_aggregate(
+            &mut self.platform,
+            &t.lsm,
+            &mut t.exec,
+            rules,
+            agg,
+            lane,
+            mode,
+            now,
+        )?;
         self.clock += out.2.sim_ns;
         Ok(out)
     }
@@ -347,8 +493,15 @@ impl NkvDb {
     /// Persist the device manifest so [`NkvDb::recover`] can rebuild the
     /// store after a power cycle. Unflushed memtable contents are
     /// volatile by design — flush first if they must survive.
+    ///
+    /// Persistence is power-cut-atomic: manifests carry a monotonically
+    /// increasing epoch and alternate between two flash slots, and the
+    /// previous epoch's slot is untouched while the new one is written —
+    /// a cut mid-persist leaves the old manifest valid (recovery picks
+    /// the newest slot whose CRC verifies).
     pub fn persist(&mut self) -> NkvResult<()> {
         let manifest = crate::recovery::Manifest {
+            epoch: self.manifest_epoch + 1,
             tables: self
                 .tables
                 .iter()
@@ -364,6 +517,7 @@ impl NkvDb {
         };
         let done =
             crate::recovery::write_manifest(&mut self.platform.flash, &manifest, self.clock)?;
+        self.manifest_epoch = manifest.epoch;
         self.clock = self.clock.max(done);
         Ok(())
     }
@@ -382,15 +536,15 @@ impl NkvDb {
             platform,
             tables: HashMap::new(),
             clock: 0,
+            manifest_epoch: 0,
+            pages_repaired: 0,
         };
-        let (manifest, t_manifest) =
-            crate::recovery::read_manifest(&mut db.platform.flash, 0)?;
+        let (manifest, t_manifest) = crate::recovery::read_manifest(&mut db.platform.flash, 0)?;
         db.clock = t_manifest;
+        db.manifest_epoch = manifest.epoch;
         for entry in &manifest.tables {
-            let (_, cfg) = table_configs
-                .iter()
-                .find(|(n, _)| n == &entry.name)
-                .ok_or_else(|| {
+            let (_, cfg) =
+                table_configs.iter().find(|(n, _)| n == &entry.name).ok_or_else(|| {
                     NkvError::Config(format!(
                         "no table configuration supplied for recovered table `{}`",
                         entry.name
@@ -405,11 +559,8 @@ impl NkvDb {
                 )));
             }
             db.create_table(&entry.name, cfg.clone())?;
-            let (recovered, t) = crate::recovery::recover_table_ssts(
-                &mut db.platform.flash,
-                entry,
-                db.clock,
-            )?;
+            let (recovered, t) =
+                crate::recovery::recover_table_ssts(&mut db.platform.flash, entry, db.clock)?;
             db.clock = db.clock.max(t);
             for (_, meta) in &recovered {
                 for block in &meta.blocks {

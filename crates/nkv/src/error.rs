@@ -27,6 +27,15 @@ pub enum NkvError {
     /// Invalid PE/table configuration (e.g. baseline PE asked for
     /// capabilities [1] does not have).
     Config(String),
+    /// A PE result buffer was too short or misaligned to decode
+    /// (`offset..offset+need` out of a `len`-byte buffer).
+    ResultDecode { offset: usize, need: usize, len: usize },
+    /// A PE never raised DONE within the watchdog timeout and software
+    /// fallback is disabled for the table.
+    PeTimeout { pe: usize, watchdog_ns: u64 },
+    /// A transiently failing page read did not recover within the
+    /// configured retry budget.
+    RetriesExhausted { sst_id: u64, block: usize, attempts: u32 },
 }
 
 impl fmt::Display for NkvError {
@@ -37,19 +46,28 @@ impl fmt::Display for NkvError {
                 write!(f, "CRC mismatch in SST {sst_id}, block {block}")
             }
             NkvError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
-            NkvError::RecordSizeMismatch { table, expected, got } => write!(
-                f,
-                "table `{table}` stores {expected}-byte records, got {got} bytes"
-            ),
-            NkvError::UnsortedBulkLoad { table, prev, next } => write!(
-                f,
-                "bulk load into `{table}` not sorted: key {next} after {prev}"
-            ),
+            NkvError::RecordSizeMismatch { table, expected, got } => {
+                write!(f, "table `{table}` stores {expected}-byte records, got {got} bytes")
+            }
+            NkvError::UnsortedBulkLoad { table, prev, next } => {
+                write!(f, "bulk load into `{table}` not sorted: key {next} after {prev}")
+            }
             NkvError::InvalidLane { table, lane } => {
                 write!(f, "table `{table}` has no comparator lane {lane}")
             }
             NkvError::OutOfSpace => write!(f, "flash capacity exhausted"),
             NkvError::Config(msg) => write!(f, "configuration error: {msg}"),
+            NkvError::ResultDecode { offset, need, len } => write!(
+                f,
+                "PE result buffer too short: need {need} bytes at offset {offset}, have {len}"
+            ),
+            NkvError::PeTimeout { pe, watchdog_ns } => {
+                write!(f, "PE {pe} did not signal DONE within {watchdog_ns} ns")
+            }
+            NkvError::RetriesExhausted { sst_id, block, attempts } => write!(
+                f,
+                "read of SST {sst_id} block {block} still failing after {attempts} attempts"
+            ),
         }
     }
 }

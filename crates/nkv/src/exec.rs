@@ -27,13 +27,32 @@
 //! key — checked against memtable, tombstone lists and per-SST bloom
 //! filters, with a confirming block read on bloom hits. The result
 //! equals "newest version, if it matches the predicate".
+//!
+//! # Resilience
+//!
+//! The executor runs *below* the host's error-handling stack, so it owns
+//! the device-side fault policy ([`ResilienceConfig`]):
+//!
+//! * **retry with backoff** — transient page-read failures are retried a
+//!   bounded number of times, each attempt delayed by an exponentially
+//!   growing amount of *simulated* time; exhaustion surfaces as the typed
+//!   [`NkvError::RetriesExhausted`];
+//! * **watchdog + HW→SW degradation** — if a PE never raises DONE, the
+//!   firmware's DONE poll times out after `watchdog_ns`, the PE is marked
+//!   failed for the rest of the session, and the block is re-processed by
+//!   the ARM software oracle (results stay identical, only time is lost).
+//!   With `hw_fallback_to_sw` disabled the op fails with
+//!   [`NkvError::PeTimeout`] instead;
+//! * **health accounting** — every retry, watchdog trip and fallback is
+//!   counted in [`HealthCounters`], surfaced device-wide through
+//!   `NkvDb::health_report`.
 
-use crate::error::NkvResult;
+use crate::error::{NkvError, NkvResult};
 use crate::lsm::LsmTree;
 use crate::memtable::Entry;
 use crate::sst::{read_block, search_block, SstMeta};
 use cosmos_sim::dram::DramClient;
-use cosmos_sim::{timing, CosmosPlatform, Server, SimNs};
+use cosmos_sim::{timing, CosmosPlatform, FlashArray, Server, SimNs};
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
 use ndp_pe::pipeline::estimate_block_cycles;
 use ndp_pe::{MemBus, PeDevice};
@@ -87,6 +106,100 @@ impl MemBus for DramBus<'_> {
 const STAGE_STRIDE: u64 = 256 * 1024;
 const STAGE_OUT_OFF: u64 = 128 * 1024;
 
+/// Device-side fault policy of one table's executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Retries after the first failed block read (0 = fail fast).
+    pub max_read_retries: u32,
+    /// Backoff before retry `n` is `backoff_base_ns << (n - 1)`
+    /// (simulated time; the firmware busy-waits the flash controller).
+    pub backoff_base_ns: SimNs,
+    /// How long the firmware polls a PE's DONE flag before declaring it
+    /// hung. Charged in full on every watchdog trip.
+    pub watchdog_ns: SimNs,
+    /// Degrade a hung PE's work to the ARM software oracle (results stay
+    /// identical) instead of failing the operation with
+    /// [`NkvError::PeTimeout`].
+    pub hw_fallback_to_sw: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_read_retries: 3,
+            backoff_base_ns: 50_000,
+            watchdog_ns: 1_000_000,
+            hw_fallback_to_sw: true,
+        }
+    }
+}
+
+/// Error/degradation counters of one table's executor (monotonic since
+/// table creation; see `NkvDb::health_report` for the device-wide view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Block/page reads that were retried after a transient failure.
+    pub read_retries: u64,
+    /// Simulated time spent in retry backoff.
+    pub retry_backoff_ns: SimNs,
+    /// Reads abandoned after exhausting the retry budget.
+    pub reads_failed: u64,
+    /// Watchdog timeouts on a PE DONE poll (one per hang observed).
+    pub watchdog_trips: u64,
+    /// Blocks processed by the ARM oracle because no healthy PE was
+    /// available (includes the block of each watchdog trip).
+    pub sw_fallback_blocks: u64,
+}
+
+/// Retrying wrapper around [`read_block`]: transient failures back off in
+/// simulated time and retry; budget exhaustion becomes the typed
+/// [`NkvError::RetriesExhausted`]. Non-retryable errors pass through.
+fn read_block_resilient(
+    flash: &mut FlashArray,
+    res: &ResilienceConfig,
+    health: &mut HealthCounters,
+    sst: &SstMeta,
+    block_idx: usize,
+    now: SimNs,
+) -> NkvResult<(SimNs, Vec<u8>)> {
+    let mut at = now;
+    let mut attempt = 0u32;
+    loop {
+        match read_block(flash, sst, block_idx, at) {
+            Err(NkvError::Flash(e)) if e.is_retryable() => {
+                attempt += 1;
+                if attempt > res.max_read_retries {
+                    health.reads_failed += 1;
+                    return Err(NkvError::RetriesExhausted {
+                        sst_id: sst.id,
+                        block: block_idx,
+                        attempts: attempt,
+                    });
+                }
+                health.read_retries += 1;
+                let backoff = res.backoff_base_ns << (attempt - 1).min(16);
+                health.retry_backoff_ns += backoff;
+                at += backoff;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Next non-failed PE in round-robin order, advancing `rr` past it;
+/// `None` once every PE has been marked failed.
+fn next_healthy_pe(failed: &[bool], n_pes: usize, rr: &mut usize) -> Option<usize> {
+    let n = n_pes.max(1);
+    for _ in 0..n {
+        let d = *rr % n;
+        *rr += 1;
+        if !failed.get(d).copied().unwrap_or(false) {
+            return Some(d);
+        }
+    }
+    None
+}
+
 /// Execution state for one table's PEs.
 pub struct TableExec {
     /// The table's precompiled functional semantics.
@@ -113,9 +226,27 @@ pub struct TableExec {
     pub reconcile: bool,
     /// Aggregation reductions the attached PEs were generated with.
     pub aggregates: Vec<ndp_ir::AggOp>,
+    /// Fault policy (retry budget, watchdog, degradation switch).
+    pub resilience: ResilienceConfig,
+    /// Error/degradation counters since table creation.
+    pub health: HealthCounters,
+    /// PEs declared hung by the watchdog (skipped until
+    /// [`TableExec::reset_failed_pes`]).
+    pub pe_failed: Vec<bool>,
 }
 
 impl TableExec {
+    /// Bring watchdog-failed PEs back into rotation (a device reset /
+    /// PL reconfiguration in the real system).
+    pub fn reset_failed_pes(&mut self) {
+        self.pe_failed.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Number of PEs currently marked failed.
+    pub fn failed_pes(&self) -> usize {
+        self.pe_failed.iter().filter(|&&f| f).count()
+    }
+
     fn cfg_io(&self, first_block: bool, rules: usize) -> (u64, u64) {
         // Mirrors the PeDriver protocol: rule registers are written once
         // per scan (cached), addresses/len/start per block.
@@ -126,8 +257,12 @@ impl TableExec {
         let nop_fills = (self.stages as usize).saturating_sub(rules) as u64;
         let rule_writes = if first_block { per_rule * rules as u64 + nop_fills } else { 0 };
         match self.profile {
-            DriverProfile::Generated => (rule_writes + timing::OURS_CFG_WRITES, timing::OURS_CFG_READS),
-            DriverProfile::Baseline => (rule_writes + timing::BASE_CFG_WRITES, timing::BASE_CFG_READS),
+            DriverProfile::Generated => {
+                (rule_writes + timing::OURS_CFG_WRITES, timing::OURS_CFG_READS)
+            }
+            DriverProfile::Baseline => {
+                (rule_writes + timing::BASE_CFG_WRITES, timing::BASE_CFG_READS)
+            }
         }
     }
 }
@@ -240,21 +375,24 @@ pub fn scan(
         for bi in 0..sst.blocks.len() {
             // Flash read: issued at `start` (the firmware queues reads
             // across channels); the flash model serializes per resource.
-            let (flash_done, data) = read_block(&mut platform.flash, sst, bi, start)?;
+            let (flash_done, data) = read_block_resilient(
+                &mut platform.flash,
+                &exec.resilience,
+                &mut exec.health,
+                sst,
+                bi,
+                start,
+            )?;
             report.blocks += 1;
             report.bytes_scanned += data.len() as u64;
             // Stage into DRAM.
-            let staged = platform.dram.timed_transfer(
-                DramClient::FlashDma,
-                data.len() as u64,
-                flash_done,
-            );
+            let staged =
+                platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
 
             let before = results.len();
             let done = match mode {
                 ExecMode::Software => {
-                    let stats =
-                        exec.processor.process_block(&data, rules, &exec.ops, &mut results);
+                    let stats = exec.processor.process_block(&data, rules, &exec.ops, &mut results);
                     report.tuples_in += u64::from(stats.tuples_in);
                     report.tuples_out += u64::from(stats.tuples_out);
                     let (_, t) =
@@ -266,58 +404,93 @@ pub fn scan(
                     // blocks; its firmware handles the tail block in
                     // software (see DESIGN.md).
                     let partial = (data.len() as u32) < exec.full_block_payload;
-                    if exec.profile == DriverProfile::Baseline && partial {
-                        let stats =
-                            exec.processor.process_block(&data, rules, &exec.ops, &mut results);
-                        report.tuples_in += u64::from(stats.tuples_in);
-                        report.tuples_out += u64::from(stats.tuples_out);
-                        let (_, t) = platform
-                            .arm
-                            .schedule(staged, platform.arm_filter_ns(data.len() as u64));
-                        t
+                    let baseline_tail = exec.profile == DriverProfile::Baseline && partial;
+                    let healthy = if baseline_tail {
+                        None
                     } else {
-                        let d = driver_rr % exec.pe_servers.len().max(1);
-                        driver_rr += 1;
-                        let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
-                            exec,
-                            &mut platform.dram,
-                            &data,
-                            rules,
-                            d,
-                            !configured[d],
-                            &mut results,
-                        );
-                        configured[d] = true;
-                        report.tuples_in += tin;
-                        report.tuples_out += tout;
-                        report.reg_writes += w;
-                        report.reg_reads += r;
-                        // ARM configures the PE (register writes), then the
-                        // PE streams the block.
-                        let cfg_ns = platform
-                            .mmio_cost_ns(w, r);
-                        let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                        let (_, pe_done) =
-                            exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
-                        // PE load + store traffic on the shared DRAM port.
-                        let _ = platform.dram.timed_transfer(
-                            DramClient::PeLoad,
-                            data.len() as u64,
-                            cfg_done,
-                        );
-                        platform.dram.timed_transfer(
-                            DramClient::PeStore,
-                            bytes_written,
-                            pe_done,
-                        )
+                        next_healthy_pe(&exec.pe_failed, exec.pe_servers.len(), &mut driver_rr)
+                    };
+                    // Watchdog: a hung PE never raises DONE; the firmware's
+                    // poll times out, the PE is retired for the session and
+                    // the block degrades to the software oracle.
+                    let hang = healthy.is_some() && platform.roll_pe_hang();
+                    if hang {
+                        let d = healthy.expect("hang implies a selected PE");
+                        exec.health.watchdog_trips += 1;
+                        exec.pe_failed[d] = true;
+                        if !exec.resilience.hw_fallback_to_sw {
+                            return Err(NkvError::PeTimeout {
+                                pe: d,
+                                watchdog_ns: exec.resilience.watchdog_ns,
+                            });
+                        }
+                    }
+                    match healthy {
+                        Some(d) if !hang => {
+                            let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
+                                exec,
+                                &mut platform.dram,
+                                &data,
+                                rules,
+                                d,
+                                !configured[d],
+                                &mut results,
+                            );
+                            configured[d] = true;
+                            report.tuples_in += tin;
+                            report.tuples_out += tout;
+                            report.reg_writes += w;
+                            report.reg_reads += r;
+                            // ARM configures the PE (register writes), then the
+                            // PE streams the block.
+                            let cfg_ns = platform.mmio_cost_ns(w, r);
+                            let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                            let (_, pe_done) =
+                                exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                            // PE load + store traffic on the shared DRAM port.
+                            let _ = platform.dram.timed_transfer(
+                                DramClient::PeLoad,
+                                data.len() as u64,
+                                cfg_done,
+                            );
+                            platform.dram.timed_transfer(
+                                DramClient::PeStore,
+                                bytes_written,
+                                pe_done,
+                            )
+                        }
+                        _ => {
+                            // Baseline tail block, a just-hung PE, or no
+                            // healthy PE left: ARM software path, charged
+                            // the watchdog timeout first on a fresh hang.
+                            if !baseline_tail {
+                                exec.health.sw_fallback_blocks += 1;
+                            }
+                            let resume =
+                                if hang { staged + exec.resilience.watchdog_ns } else { staged };
+                            let stats =
+                                exec.processor.process_block(&data, rules, &exec.ops, &mut results);
+                            report.tuples_in += u64::from(stats.tuples_in);
+                            report.tuples_out += u64::from(stats.tuples_out);
+                            let (_, t) = platform
+                                .arm
+                                .schedule(resume, platform.arm_filter_ns(data.len() as u64));
+                            t
+                        }
                     }
                 }
             };
             op_end = op_end.max(done);
-            // Remember matched keys for reconciliation.
+            // Remember matched keys for reconciliation. A result buffer
+            // too short for a whole key would mean a PE wrote garbage —
+            // surfaced as a typed error, not a slice panic.
             let mut off = before;
             while off < results.len() {
-                let key = u64::from_le_bytes(results[off..off + 8].try_into().unwrap());
+                let key = results
+                    .get(off..off + 8)
+                    .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                    .map(u64::from_le_bytes)
+                    .ok_or(NkvError::ResultDecode { offset: off, need: 8, len: results.len() })?;
                 matched_keys.push((key, rank, off));
                 off += exec.processor.out_tuple_bytes();
             }
@@ -342,7 +515,14 @@ pub fn scan(
             if newer.may_contain(key) {
                 // Bloom hit: confirm with a block read.
                 if let Some(bi) = newer.block_for(key) {
-                    let (t, data) = read_block(&mut platform.flash, newer, bi, op_end)?;
+                    let (t, data) = read_block_resilient(
+                        &mut platform.flash,
+                        &exec.resilience,
+                        &mut exec.health,
+                        newer,
+                        bi,
+                        op_end,
+                    )?;
                     report.shadow_confirm_reads += 1;
                     op_end = op_end.max(t);
                     if search_block(&data, record_bytes, key).is_some() {
@@ -380,6 +560,7 @@ pub fn scan(
 /// reduction cannot be reconciled against shadowed versions after the
 /// fact, so the caller is responsible for compacting first (checked only
 /// by convention; the unit tests cover the supported shape).
+#[allow(clippy::too_many_arguments)]
 pub fn scan_aggregate(
     platform: &mut CosmosPlatform,
     lsm: &LsmTree,
@@ -394,10 +575,7 @@ pub fn scan_aggregate(
     let start = now + platform.firmware.op_overhead_ns();
     let mut op_end = start;
     let mut acc = crate::oracle_acc(&exec.processor, agg, lane)
-        .ok_or_else(|| crate::error::NkvError::InvalidLane {
-            table: "<aggregate>".into(),
-            lane,
-        })?;
+        .ok_or_else(|| crate::error::NkvError::InvalidLane { table: "<aggregate>".into(), lane })?;
 
     // Memtable contribution (ARM-side, like scan()).
     for (_, entry) in lsm.memtable().iter() {
@@ -426,14 +604,18 @@ pub fn scan_aggregate(
     let mut configured = vec![false; exec.pe_servers.len().max(1)];
     for sst in &ssts {
         for bi in 0..sst.blocks.len() {
-            let (flash_done, data) = read_block(&mut platform.flash, sst, bi, start)?;
+            let (flash_done, data) = read_block_resilient(
+                &mut platform.flash,
+                &exec.resilience,
+                &mut exec.health,
+                sst,
+                bi,
+                start,
+            )?;
             report.blocks += 1;
             report.bytes_scanned += data.len() as u64;
-            let staged = platform.dram.timed_transfer(
-                DramClient::FlashDma,
-                data.len() as u64,
-                flash_done,
-            );
+            let staged =
+                platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
             let done = match mode {
                 ExecMode::Software => {
                     for tuple in data.chunks_exact(exec.processor.in_tuple_bytes()) {
@@ -450,8 +632,6 @@ pub fn scan_aggregate(
                     t
                 }
                 ExecMode::Hardware => {
-                    let d = driver_rr % exec.pe_servers.len().max(1);
-                    driver_rr += 1;
                     // Functional result via the shared accumulator; counts
                     // and timing like the filtering path, but with zero
                     // result write-back (the aggregate stays in a register).
@@ -468,26 +648,57 @@ pub fn scan_aggregate(
                     }
                     report.tuples_in += tin;
                     report.tuples_out += tout;
-                    let (mut w, r) = exec.cfg_io(!configured[d], rules.len());
-                    if !configured[d] {
-                        w += 2; // AGG_FIELD + AGG_OP
+                    let healthy =
+                        next_healthy_pe(&exec.pe_failed, exec.pe_servers.len(), &mut driver_rr);
+                    let hang = healthy.is_some() && platform.roll_pe_hang();
+                    if hang {
+                        let d = healthy.expect("hang implies a selected PE");
+                        exec.health.watchdog_trips += 1;
+                        exec.pe_failed[d] = true;
+                        if !exec.resilience.hw_fallback_to_sw {
+                            return Err(NkvError::PeTimeout {
+                                pe: d,
+                                watchdog_ns: exec.resilience.watchdog_ns,
+                            });
+                        }
                     }
-                    configured[d] = true;
-                    // +2 reads: the 64-bit accumulator halves.
-                    let r = r + 2;
-                    report.reg_writes += w;
-                    report.reg_reads += r;
-                    let cycles = estimate_block_cycles(data.len() as u64, tin, 0, exec.stages);
-                    let cfg_ns = platform.mmio_cost_ns(w, r);
-                    let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                    let (_, pe_done) =
-                        exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
-                    let _ = platform.dram.timed_transfer(
-                        DramClient::PeLoad,
-                        data.len() as u64,
-                        cfg_done,
-                    );
-                    pe_done
+                    match healthy {
+                        Some(d) if !hang => {
+                            let (mut w, r) = exec.cfg_io(!configured[d], rules.len());
+                            if !configured[d] {
+                                w += 2; // AGG_FIELD + AGG_OP
+                            }
+                            configured[d] = true;
+                            // +2 reads: the 64-bit accumulator halves.
+                            let r = r + 2;
+                            report.reg_writes += w;
+                            report.reg_reads += r;
+                            let cycles =
+                                estimate_block_cycles(data.len() as u64, tin, 0, exec.stages);
+                            let cfg_ns = platform.mmio_cost_ns(w, r);
+                            let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                            let (_, pe_done) =
+                                exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                            let _ = platform.dram.timed_transfer(
+                                DramClient::PeLoad,
+                                data.len() as u64,
+                                cfg_done,
+                            );
+                            pe_done
+                        }
+                        _ => {
+                            // Hung or exhausted PEs: the ARM re-reduces the
+                            // staged block (the accumulator above is already
+                            // correct — only time differs).
+                            exec.health.sw_fallback_blocks += 1;
+                            let resume =
+                                if hang { staged + exec.resilience.watchdog_ns } else { staged };
+                            let (_, t) = platform
+                                .arm
+                                .schedule(resume, platform.arm_filter_ns(data.len() as u64));
+                            t
+                        }
+                    }
                 }
             };
             op_end = op_end.max(done);
@@ -532,9 +743,31 @@ pub fn get(
     // target depends on the previous miss).
     let candidates: Vec<SstMeta> = lsm.candidate_ssts(key).into_iter().cloned().collect();
     for sst in &candidates {
-        // Index block read + parse on the ARM.
+        // Index block read + parse on the ARM (same retry policy as data
+        // blocks; the page content is already cached in `sst`).
         if let Some(&page) = sst.index_pages.first() {
-            let (idx_done, _) = platform.flash.read_page(page, t)?;
+            let mut attempt = 0u32;
+            let idx_done = loop {
+                match platform.flash.read_page(page, t) {
+                    Ok((done, _)) => break done,
+                    Err(e) if e.is_retryable() => {
+                        attempt += 1;
+                        if attempt > exec.resilience.max_read_retries {
+                            exec.health.reads_failed += 1;
+                            return Err(NkvError::RetriesExhausted {
+                                sst_id: sst.id,
+                                block: usize::MAX, // index, not a data block
+                                attempts: attempt,
+                            });
+                        }
+                        exec.health.read_retries += 1;
+                        let backoff = exec.resilience.backoff_base_ns << (attempt - 1).min(16);
+                        exec.health.retry_backoff_ns += backoff;
+                        t += backoff;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
             let (_, parsed) = platform.arm.schedule(idx_done, 2_000);
             t = parsed;
         }
@@ -546,7 +779,14 @@ pub fn get(
             continue;
         }
         let Some(bi) = sst.block_for(key) else { continue };
-        let (flash_done, data) = read_block(&mut platform.flash, sst, bi, t)?;
+        let (flash_done, data) = read_block_resilient(
+            &mut platform.flash,
+            &exec.resilience,
+            &mut exec.health,
+            sst,
+            bi,
+            t,
+        )?;
         report.blocks += 1;
         report.bytes_scanned += data.len() as u64;
         let staged =
@@ -559,35 +799,62 @@ pub fn get(
                 (rec, done)
             }
             ExecMode::Hardware => {
-                // Key-equality filter on the PE; every GET reconfigures
-                // the reference value, so no rule caching applies.
-                let rules =
-                    [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
-                let mut out = Vec::new();
-                let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
-                    exec,
-                    &mut platform.dram,
-                    &data,
-                    &rules,
-                    0,
-                    true,
-                    &mut out,
-                );
-                report.tuples_in += tin;
-                report.tuples_out += tout;
-                report.reg_writes += w;
-                report.reg_reads += r;
-                let cfg_ns = platform.mmio_cost_ns(w, r);
-                let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                let (_, pe_done) =
-                    exec.pe_servers[0].schedule(cfg_done, cycles * timing::PL_CLK_NS);
-                let done = platform.dram.timed_transfer(
-                    DramClient::PeStore,
-                    bytes_written,
-                    pe_done,
-                );
-                let rec = (!out.is_empty()).then(|| out[..lsm.record_bytes()].to_vec());
-                (rec, done)
+                // GET always targets PE 0 (one block, no parallelism to
+                // exploit); a retired or freshly hung PE 0 degrades the
+                // search to the ARM, like the SCAN path.
+                let pe_down = exec.pe_failed.first().copied().unwrap_or(false);
+                let hang = !pe_down && platform.roll_pe_hang();
+                if hang {
+                    exec.health.watchdog_trips += 1;
+                    if let Some(f) = exec.pe_failed.first_mut() {
+                        *f = true;
+                    }
+                    if !exec.resilience.hw_fallback_to_sw {
+                        return Err(NkvError::PeTimeout {
+                            pe: 0,
+                            watchdog_ns: exec.resilience.watchdog_ns,
+                        });
+                    }
+                }
+                if pe_down || hang {
+                    exec.health.sw_fallback_blocks += 1;
+                    let resume = if hang { staged + exec.resilience.watchdog_ns } else { staged };
+                    let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+                    let (_, done) = platform.arm.schedule(resume, timing::ARM_BLOCK_SEARCH_NS);
+                    (rec, done)
+                } else {
+                    // Key-equality filter on the PE; every GET reconfigures
+                    // the reference value, so no rule caching applies.
+                    let rules = [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
+                    let mut out = Vec::new();
+                    let (tin, tout, cycles, w, r, bytes_written) =
+                        hw_filter_block(exec, &mut platform.dram, &data, &rules, 0, true, &mut out);
+                    report.tuples_in += tin;
+                    report.tuples_out += tout;
+                    report.reg_writes += w;
+                    report.reg_reads += r;
+                    let cfg_ns = platform.mmio_cost_ns(w, r);
+                    let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                    let (_, pe_done) =
+                        exec.pe_servers[0].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                    let done =
+                        platform.dram.timed_transfer(DramClient::PeStore, bytes_written, pe_done);
+                    let rec = if out.is_empty() {
+                        None
+                    } else {
+                        let n = lsm.record_bytes();
+                        Some(
+                            out.get(..n)
+                                .ok_or(NkvError::ResultDecode {
+                                    offset: 0,
+                                    need: n,
+                                    len: out.len(),
+                                })?
+                                .to_vec(),
+                        )
+                    };
+                    (rec, done)
+                }
             }
         };
         t = done;
@@ -650,6 +917,9 @@ mod tests {
             chunk_bytes: cfg.chunk_bytes,
             reconcile: true,
             aggregates: cfg.aggregates.clone(),
+            resilience: ResilienceConfig::default(),
+            health: HealthCounters::default(),
+            pe_failed: vec![false; n_pes],
         }
     }
 
@@ -718,12 +988,7 @@ mod tests {
         let mut p2 = CosmosPlatform::new(CosmosConfig::default());
         p2.flash = platform.flash.clone();
         let (_, hw) = scan(&mut p2, &lsm, &mut exec, &rules, ExecMode::Hardware, t0).unwrap();
-        assert!(
-            hw.sim_ns < sw.sim_ns,
-            "HW {} ns should beat SW {} ns",
-            hw.sim_ns,
-            sw.sim_ns
-        );
+        assert!(hw.sim_ns < sw.sim_ns, "HW {} ns should beat SW {} ns", hw.sim_ns, sw.sim_ns);
     }
 
     #[test]
@@ -838,8 +1103,7 @@ mod tests {
 
         let mut exec = make_exec(1, false, false);
         let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 2000 }];
-        let (res, _) =
-            scan(&mut platform, &lsm, &mut exec, &rules, ExecMode::Software, 0).unwrap();
+        let (res, _) = scan(&mut platform, &lsm, &mut exec, &rules, ExecMode::Software, 0).unwrap();
         assert_eq!(res.len(), 20);
         assert_eq!(Ref::decode(&res).year, 2012);
     }
@@ -855,15 +1119,9 @@ mod tests {
         let key = sst.blocks[0].first_key;
         let (sw, rep_sw) =
             get(&mut platform, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
-        let (hw, rep_hw) = get(
-            &mut platform,
-            &lsm,
-            &mut exec,
-            key,
-            ExecMode::Hardware,
-            t0 + rep_sw.sim_ns,
-        )
-        .unwrap();
+        let (hw, rep_hw) =
+            get(&mut platform, &lsm, &mut exec, key, ExecMode::Hardware, t0 + rep_sw.sim_ns)
+                .unwrap();
         assert!(sw.is_some());
         assert_eq!(sw, hw);
         assert!(rep_sw.sim_ns > 0 && rep_hw.sim_ns > 0);
@@ -913,8 +1171,7 @@ mod tests {
         let mut exec = make_exec(1, false, false);
         let (_, rep_orig) =
             get(&mut original, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
-        let (_, rep_upd) =
-            get(&mut updated, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
+        let (_, rep_upd) = get(&mut updated, &lsm, &mut exec, key, ExecMode::Software, t0).unwrap();
         assert_eq!(
             rep_upd.sim_ns - rep_orig.sim_ns,
             timing::FIRMWARE_OP_OVERHEAD_NS,

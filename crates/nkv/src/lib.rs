@@ -44,9 +44,9 @@ pub mod recovery;
 pub mod sst;
 pub mod util;
 
-pub use db::{NkvDb, ScanSummary, TableConfig};
+pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
 pub use error::{NkvError, NkvResult};
-pub use exec::{ExecMode, SimReport};
+pub use exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport};
 
 /// Build an aggregation accumulator for a table's processor (thin
 /// re-export so `exec` and `db` share one constructor).

@@ -12,11 +12,11 @@
 //! * GET therefore probes the memtable, *every* SST of `C1`
 //!   (newest-first), and one SST per deeper level.
 
-use crate::error::NkvResult;
+use crate::error::{NkvError, NkvResult};
 use crate::memtable::{Entry, MemTable};
 use crate::placement::PageAllocator;
-use crate::sst::{read_block, SstBuilder, SstMeta};
-use cosmos_sim::{FlashArray, SimNs};
+use crate::sst::{read_block, serialize_index, SstBuilder, SstMeta};
+use cosmos_sim::{FlashArray, PhysAddr, SimNs};
 
 /// Tuning knobs of one LSM tree.
 #[derive(Debug, Clone)]
@@ -109,8 +109,7 @@ impl LsmTree {
         if level == 0 {
             self.levels[0].len() > self.cfg.c1_sst_limit
         } else if level + 1 < self.levels.len() {
-            let limit =
-                self.cfg.c1_sst_limit * self.cfg.level_fanout.pow(level as u32);
+            let limit = self.cfg.c1_sst_limit * self.cfg.level_fanout.pow(level as u32);
             self.levels[level].len() > limit
         } else {
             false
@@ -203,8 +202,7 @@ impl LsmTree {
 
         // Emit the merged run, splitting into bounded SSTs.
         let out_level = level + 1;
-        let max_records_per_sst =
-            (self.cfg.block_bytes / self.record_bytes).max(1) * 64;
+        let max_records_per_sst = (self.cfg.block_bytes / self.record_bytes).max(1) * 64;
         let mut out_ssts = Vec::new();
         let mut builder: Option<SstBuilder> = None;
         let mut in_current = 0usize;
@@ -311,9 +309,7 @@ impl LsmTree {
             }
         }
         for level in &self.levels[1..] {
-            if let Some(sst) =
-                level.iter().find(|s| key >= s.min_key && key <= s.max_key)
-            {
+            if let Some(sst) = level.iter().find(|s| key >= s.min_key && key <= s.max_key) {
                 out.push(sst);
             }
         }
@@ -344,18 +340,99 @@ impl LsmTree {
     pub fn persistent_records(&self) -> u64 {
         self.levels.iter().flatten().map(|s| s.n_records).sum()
     }
+
+    /// True if any live SST references physical page `addr` — as a data
+    /// page or as an index page. Used by read-repair to decide whether a
+    /// degrading page still holds reachable data.
+    pub fn references_page(&self, addr: PhysAddr) -> bool {
+        self.levels.iter().flatten().any(|sst| {
+            sst.index_pages.contains(&addr) || sst.blocks.iter().any(|b| b.pages.contains(&addr))
+        })
+    }
+
+    /// Rewire every reference to page `old` so it points at `new`
+    /// (read-repair relocation after the payload was copied). Returns the
+    /// ids of SSTs whose *data-block* page lists changed — those SSTs'
+    /// on-flash index blocks are now stale and must be rewritten via
+    /// [`Self::rewrite_index`]. Index-page moves only touch in-memory
+    /// metadata (and the manifest, which the caller re-persists).
+    pub fn relocate_page(&mut self, old: PhysAddr, new: PhysAddr) -> Vec<u64> {
+        let mut stale = Vec::new();
+        for sst in self.levels.iter_mut().flatten() {
+            let mut data_changed = false;
+            for block in &mut sst.blocks {
+                for p in &mut block.pages {
+                    if *p == old {
+                        *p = new;
+                        data_changed = true;
+                    }
+                }
+            }
+            for p in &mut sst.index_pages {
+                if *p == old {
+                    *p = new;
+                }
+            }
+            if data_changed {
+                stale.push(sst.id);
+            }
+        }
+        stale
+    }
+
+    /// Re-serialize the index block of SST `sst_id` to freshly allocated
+    /// pages (the bump allocator never reuses pages, so the old index
+    /// stays readable until the manifest is re-persisted). No-op for an
+    /// unknown id. Returns the completion time.
+    pub fn rewrite_index(
+        &mut self,
+        flash: &mut FlashArray,
+        alloc: &mut PageAllocator,
+        sst_id: u64,
+        now: SimNs,
+    ) -> NkvResult<SimNs> {
+        let page_bytes = flash.config().page_bytes as usize;
+        let Some(sst) = self.levels.iter_mut().flatten().find(|s| s.id == sst_id) else {
+            return Ok(now);
+        };
+        let bytes = serialize_index(sst);
+        let n_pages = bytes.len().div_ceil(page_bytes).max(1);
+        let pages = alloc.alloc_block(sst.level, n_pages).ok_or(NkvError::OutOfSpace)?;
+        let mut done = now;
+        for (i, &p) in pages.iter().enumerate() {
+            let start = i * page_bytes;
+            let end = (start + page_bytes).min(bytes.len());
+            let slice = if start < bytes.len() { &bytes[start..end] } else { &[][..] };
+            done = done.max(flash.program_page(p, slice, now)?);
+        }
+        sst.index_pages = pages;
+        Ok(done)
+    }
 }
+
+/// Entry stream of one SST: `(key, record-or-tombstone)` in key order.
+type EntryStream = Vec<(u64, Option<Vec<u8>>)>;
 
 /// Load all entries of an SST in key order (records + tombstones merged).
 fn load_entries(
     flash: &mut FlashArray,
     sst: &SstMeta,
     now: SimNs,
-) -> NkvResult<(SimNs, Vec<(u64, Option<Vec<u8>>)>)> {
+) -> NkvResult<(SimNs, EntryStream)> {
     let mut recs: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(sst.n_records as usize);
     let mut done = now;
     for i in 0..sst.blocks.len() {
-        let (t, data) = read_block(flash, sst, i, now)?;
+        // Transient read faults must not abort a flush/compaction merge
+        // (which has already detached its input levels) — retry a few
+        // times; anything persistent still propagates.
+        let mut attempt = 0u32;
+        let (t, data) = loop {
+            match read_block(flash, sst, i, now) {
+                Ok(x) => break x,
+                Err(NkvError::Flash(e)) if e.is_retryable() && attempt < 4 => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        };
         done = done.max(t);
         for chunk in data.chunks_exact(sst.record_bytes) {
             let key = u64::from_le_bytes(chunk[..8].try_into().unwrap());
@@ -554,12 +631,11 @@ mod tests {
 
     #[test]
     fn random_workload_matches_btreemap_model() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+        let mut rng = ndp_workload::SplitMix64::new(0xFEED);
         let mut fx = fixture();
         let mut model = std::collections::BTreeMap::new();
         for step in 0..3000u32 {
-            let key = rng.gen_range(1..200u64);
+            let key = rng.gen_range_u64(1, 200);
             if rng.gen_bool(0.8) {
                 let r = rec(key, (step % 251) as u8);
                 fx.lsm.put(key, r.clone());

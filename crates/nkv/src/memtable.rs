@@ -122,8 +122,7 @@ impl MemTable {
             self.live_entries += 1;
         }
         let mut node = Node { key, entry, next: [NIL; MAX_HEIGHT] };
-        for level in 0..h {
-            let pred = preds[level];
+        for (level, &pred) in preds.iter().enumerate().take(h) {
             if level >= self.height {
                 node.next[level] = NIL;
                 self.head[level] = idx;
@@ -136,8 +135,7 @@ impl MemTable {
             }
         }
         self.nodes.push(node);
-        for level in 0..h.min(self.height) {
-            let pred = preds[level];
+        for (level, &pred) in preds.iter().enumerate().take(h.min(self.height)) {
             if pred != NIL {
                 self.nodes[pred].next[level] = idx;
             }

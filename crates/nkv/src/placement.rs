@@ -70,9 +70,8 @@ impl PageAllocator {
             let mut pages = Vec::with_capacity(n);
             let mut ok = true;
             // Snapshot next_page so a failed attempt does not leak pages.
-            let base: Vec<u32> = (lun_lo..lun_hi)
-                .map(|l| self.next_page[self.slot(channel, l)])
-                .collect();
+            let base: Vec<u32> =
+                (lun_lo..lun_hi).map(|l| self.next_page[self.slot(channel, l)]).collect();
             let mut next = base.clone();
             for i in 0..n {
                 let li = (i as u16) % lun_count;
@@ -112,10 +111,7 @@ impl PageAllocator {
 
     /// Free pages remaining (approximate, for diagnostics).
     pub fn free_pages(&self) -> u64 {
-        self.next_page
-            .iter()
-            .map(|&used| u64::from(self.pages_per_lun - used))
-            .sum()
+        self.next_page.iter().map(|&used| u64::from(self.pages_per_lun - used)).sum()
     }
 }
 
@@ -173,7 +169,12 @@ mod tests {
 
     #[test]
     fn exhaustion_returns_none() {
-        let cfg = FlashConfig { channels: 2, luns_per_channel: 2, pages_per_lun: 4, ..FlashConfig::default() };
+        let cfg = FlashConfig {
+            channels: 2,
+            luns_per_channel: 2,
+            pages_per_lun: 4,
+            ..FlashConfig::default()
+        };
         let mut a = PageAllocator::new(&cfg);
         let mut got = 0;
         while a.alloc_block(0, 2).is_some() {

@@ -17,16 +17,31 @@
 //! host treating unflushed writes as unacknowledged (documented design
 //! decision; RocksDB's WAL is out of scope for the paper's read-path
 //! evaluation).
+//!
+//! # Power-cut atomicity
+//!
+//! Manifests carry a monotonically increasing **epoch** and alternate
+//! between **two fixed slots** (`epoch % 2`). A persist only ever
+//! overwrites the slot *not* holding the current manifest, so a power
+//! cut mid-write tears at most the new slot: its CRC fails and
+//! [`read_manifest`] falls back to the intact older slot. Because the
+//! page allocator is a bump allocator that never reuses pages, every
+//! SST the older manifest references is still readable — recovery
+//! always lands on a consistent (if slightly stale) state.
 
 use crate::error::{NkvError, NkvResult};
 use crate::sst::{deserialize_index, serialize_index, SstMeta};
 use crate::util::crc32c;
 use cosmos_sim::{FlashArray, PhysAddr, SimNs};
 
-/// Fixed physical location of the manifest: the top pages of
-/// channel 0 / LUN 0. The allocator fills pages bottom-up, so collision
-/// would require an essentially full device (and is caught by the CRC).
-pub const MANIFEST_PAGES: u32 = 16;
+/// Pages reserved per manifest slot. Two slots sit at the top of
+/// channel 0 / LUN 0 (slot 0 highest). The allocator fills pages
+/// bottom-up, so collision would require an essentially full device
+/// (and is caught by the CRC).
+pub const MANIFEST_SLOT_PAGES: u32 = 8;
+
+/// Total pages reserved for manifests (both slots).
+pub const MANIFEST_PAGES: u32 = 2 * MANIFEST_SLOT_PAGES;
 
 /// Manifest entry for one table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,18 +57,23 @@ pub struct TableManifest {
 /// The whole device manifest.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
+    /// Monotonically increasing persist generation; selects the slot
+    /// (`epoch % 2`) and breaks ties between two valid slots (higher
+    /// epoch = newer manifest wins).
+    pub epoch: u64,
     pub tables: Vec<TableManifest>,
 }
 
-fn manifest_page(i: u32, pages_per_lun: u32) -> PhysAddr {
-    PhysAddr { channel: 0, lun: 0, page: pages_per_lun - 1 - i }
+fn manifest_page(slot: u32, i: u32, pages_per_lun: u32) -> PhysAddr {
+    PhysAddr { channel: 0, lun: 0, page: pages_per_lun - 1 - (slot * MANIFEST_SLOT_PAGES + i) }
 }
 
 /// Serialize the manifest (little-endian, CRC-terminated).
 pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(b"NKVM");
-    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&2u32.to_le_bytes());
+    out.extend_from_slice(&m.epoch.to_le_bytes());
     out.extend_from_slice(&(m.tables.len() as u32).to_le_bytes());
     for t in &m.tables {
         out.extend_from_slice(&(t.name.len() as u16).to_le_bytes());
@@ -93,13 +113,15 @@ pub fn decode_manifest(bytes: &[u8]) -> NkvResult<Manifest> {
     }
     let u16_at = |s: &[u8]| u16::from_le_bytes(s.try_into().unwrap());
     let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
-    let _version = u32_at(take(&mut pos, 4)?);
+    let version = u32_at(take(&mut pos, 4)?);
+    // Version 1 manifests predate epochs (single-slot layout).
+    let epoch =
+        if version >= 2 { u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) } else { 0 };
     let n_tables = u32_at(take(&mut pos, 4)?) as usize;
     let mut tables = Vec::with_capacity(n_tables);
     for _ in 0..n_tables {
         let name_len = u16_at(take(&mut pos, 2)?) as usize;
-        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
-            .map_err(|_| fail())?;
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).map_err(|_| fail())?;
         let record_bytes = u32_at(take(&mut pos, 4)?);
         let unique_keys = take(&mut pos, 1)?[0] != 0;
         let n_ssts = u32_at(take(&mut pos, 4)?) as usize;
@@ -122,54 +144,69 @@ pub fn decode_manifest(bytes: &[u8]) -> NkvResult<Manifest> {
     if crc32c(&bytes[..pos - 4]) != crc_stored {
         return Err(fail());
     }
-    Ok(Manifest { tables })
+    Ok(Manifest { epoch, tables })
 }
 
-/// Write the manifest into its reserved flash pages; returns completion
-/// time. Fails if the manifest outgrows the reserved region.
-pub fn write_manifest(
-    flash: &mut FlashArray,
-    m: &Manifest,
-    now: SimNs,
-) -> NkvResult<SimNs> {
+/// Write the manifest into the slot selected by its epoch (`epoch % 2`);
+/// returns completion time. The other slot — holding the previous valid
+/// manifest — is untouched, so a power cut mid-write cannot lose both.
+/// Fails if the manifest outgrows one slot.
+pub fn write_manifest(flash: &mut FlashArray, m: &Manifest, now: SimNs) -> NkvResult<SimNs> {
     let bytes = encode_manifest(m);
     let page_bytes = flash.config().page_bytes as usize;
     let needed = bytes.len().div_ceil(page_bytes) as u32;
-    if needed > MANIFEST_PAGES {
+    if needed > MANIFEST_SLOT_PAGES {
         return Err(NkvError::Config(format!(
-            "manifest needs {needed} pages, only {MANIFEST_PAGES} reserved"
+            "manifest needs {needed} pages, only {MANIFEST_SLOT_PAGES} per slot"
         )));
     }
+    let slot = (m.epoch % 2) as u32;
     let pages_per_lun = flash.config().pages_per_lun;
     let mut done = now;
     for i in 0..needed {
         let start = i as usize * page_bytes;
         let end = (start + page_bytes).min(bytes.len());
-        let addr = manifest_page(i, pages_per_lun);
+        let addr = manifest_page(slot, i, pages_per_lun);
         done = done.max(flash.program_page(addr, &bytes[start..end], now)?);
     }
     Ok(done)
 }
 
-/// Read the manifest back from its reserved pages.
-pub fn read_manifest(flash: &mut FlashArray, now: SimNs) -> NkvResult<(Manifest, SimNs)> {
+/// Read one slot's manifest, or `None` if the slot holds nothing valid.
+fn read_slot(flash: &mut FlashArray, slot: u32, now: SimNs) -> (Option<Manifest>, SimNs) {
     let pages_per_lun = flash.config().pages_per_lun;
     let mut bytes = Vec::new();
     let mut done = now;
-    for i in 0..MANIFEST_PAGES {
-        let addr = manifest_page(i, pages_per_lun);
+    for i in 0..MANIFEST_SLOT_PAGES {
+        let addr = manifest_page(slot, i, pages_per_lun);
         match flash.read_page(addr, now) {
             Ok((t, page)) => {
                 done = done.max(t);
                 bytes.extend_from_slice(page);
             }
-            // Unwritten tail pages end the manifest region.
-            Err(_) if i > 0 => break,
-            Err(e) => return Err(e.into()),
+            // Unwritten / unreadable tail pages end the slot; a torn or
+            // corrupt slot fails the CRC below either way.
+            Err(_) => break,
         }
     }
-    let m = decode_manifest_prefix(&bytes)?;
-    Ok((m, done))
+    (decode_manifest_prefix(&bytes).ok(), done)
+}
+
+/// Read the manifest back: both slots are scanned and the newest valid
+/// one (highest epoch with an intact CRC) wins. Errors only if neither
+/// slot holds a valid manifest.
+pub fn read_manifest(flash: &mut FlashArray, now: SimNs) -> NkvResult<(Manifest, SimNs)> {
+    let (m0, t0) = read_slot(flash, 0, now);
+    let (m1, t1) = read_slot(flash, 1, now);
+    let done = t0.max(t1);
+    let best = match (m0, m1) {
+        (Some(a), Some(b)) => Some(if a.epoch >= b.epoch { a } else { b }),
+        (a, b) => a.or(b),
+    };
+    match best {
+        Some(m) => Ok((m, done)),
+        None => Err(NkvError::Config("no valid manifest in either slot".into())),
+    }
 }
 
 /// Decode a manifest from a buffer that may carry trailing page padding.
@@ -238,12 +275,7 @@ pub fn manifest_entry(
             ssts.push((level as u32, sst.index_pages.clone()));
         }
     }
-    TableManifest {
-        name: name.to_string(),
-        record_bytes: record_bytes as u32,
-        ssts,
-        unique_keys,
-    }
+    TableManifest { name: name.to_string(), record_bytes: record_bytes as u32, ssts, unique_keys }
 }
 
 /// Round-trip sanity used by tests: serialize + recover one SST's index.
@@ -258,6 +290,7 @@ mod tests {
 
     fn sample_manifest() -> Manifest {
         Manifest {
+            epoch: 5,
             tables: vec![
                 TableManifest {
                     name: "papers".into(),
@@ -327,7 +360,61 @@ mod tests {
     #[test]
     fn manifest_pages_sit_at_the_top_of_lun0() {
         let cfg = FlashConfig::default();
-        let p = manifest_page(0, cfg.pages_per_lun);
+        let p = manifest_page(0, 0, cfg.pages_per_lun);
         assert_eq!(p, PhysAddr { channel: 0, lun: 0, page: cfg.pages_per_lun - 1 });
+        let q = manifest_page(1, 0, cfg.pages_per_lun);
+        assert_eq!(
+            q,
+            PhysAddr { channel: 0, lun: 0, page: cfg.pages_per_lun - 1 - MANIFEST_SLOT_PAGES }
+        );
+    }
+
+    #[test]
+    fn successive_epochs_alternate_slots_and_newest_wins() {
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut m = sample_manifest();
+        for epoch in 1..=4u64 {
+            m.epoch = epoch;
+            write_manifest(&mut flash, &m, 0).unwrap();
+            let (back, _) = read_manifest(&mut flash, 0).unwrap();
+            assert_eq!(back.epoch, epoch, "newest epoch must win");
+        }
+        // Both slots are populated (epochs 3 and 4 live side by side).
+        let cfg = FlashConfig::default();
+        for slot in 0..2 {
+            assert!(flash.read_page(manifest_page(slot, 0, cfg.pages_per_lun), 0).is_ok());
+        }
+    }
+
+    #[test]
+    fn torn_newer_slot_falls_back_to_older_epoch() {
+        let mut flash = FlashArray::new(FlashConfig::default());
+        let mut m = sample_manifest();
+        m.epoch = 1;
+        write_manifest(&mut flash, &m, 0).unwrap();
+        m.epoch = 2;
+        write_manifest(&mut flash, &m, 0).unwrap();
+        // Tear epoch 2's slot (slot 0): flip a byte in its first page.
+        let cfg = FlashConfig::default();
+        let addr = manifest_page(0, 0, cfg.pages_per_lun);
+        let mut torn = flash.read_page(addr, 0).unwrap().1.to_vec();
+        torn[6] ^= 0xFF;
+        flash.program_page(addr, &torn, 0).unwrap();
+        let (back, _) = read_manifest(&mut flash, 0).unwrap();
+        assert_eq!(back.epoch, 1, "CRC failure must fall back to the intact slot");
+    }
+
+    #[test]
+    fn v1_manifest_without_epoch_still_decodes() {
+        // Hand-roll a version-1 header (no epoch field, empty table list).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"NKVM");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32c(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let m = decode_manifest(&bytes).unwrap();
+        assert_eq!(m.epoch, 0);
+        assert!(m.tables.is_empty());
     }
 }

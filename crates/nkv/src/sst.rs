@@ -94,7 +94,13 @@ pub struct SstBuilder {
 impl SstBuilder {
     /// Start building SST `id` at `level` for `record_bytes`-sized
     /// records in `block_bytes` blocks (32 KiB in the paper).
-    pub fn new(id: u64, level: usize, record_bytes: usize, block_bytes: usize, table: &str) -> Self {
+    pub fn new(
+        id: u64,
+        level: usize,
+        record_bytes: usize,
+        block_bytes: usize,
+        table: &str,
+    ) -> Self {
         assert!(record_bytes >= 8, "records start with a u64 key");
         assert!(block_bytes >= record_bytes);
         Self {
@@ -271,7 +277,7 @@ pub fn read_block(
 }
 
 /// Binary-search a data block for `key`; returns the record bytes.
-pub fn search_block<'a>(data: &'a [u8], record_bytes: usize, key: u64) -> Option<&'a [u8]> {
+pub fn search_block(data: &[u8], record_bytes: usize, key: u64) -> Option<&[u8]> {
     let n = data.len() / record_bytes;
     let (mut lo, mut hi) = (0usize, n);
     while lo < hi {
@@ -481,10 +487,7 @@ mod tests {
             b.add_record(10, &record(10, 20)),
             Err(NkvError::UnsortedBulkLoad { .. })
         ));
-        assert!(matches!(
-            b.add_record(5, &record(5, 20)),
-            Err(NkvError::UnsortedBulkLoad { .. })
-        ));
+        assert!(matches!(b.add_record(5, &record(5, 20)), Err(NkvError::UnsortedBulkLoad { .. })));
     }
 
     #[test]

@@ -17,10 +17,8 @@ use ndp_workload::{PAPER_PE, PAPER_REF_SPEC, REF_PE};
 use std::path::PathBuf;
 
 fn main() {
-    let out_dir: PathBuf = std::env::args()
-        .nth(1)
-        .map(Into::into)
-        .unwrap_or_else(|| "generated".into());
+    let out_dir: PathBuf =
+        std::env::args().nth(1).map(Into::into).unwrap_or_else(|| "generated".into());
 
     // Generate both evaluation PEs from the shared specification.
     let artifacts = generate(PAPER_REF_SPEC).expect("bundled spec is valid");

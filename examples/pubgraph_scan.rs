@@ -16,10 +16,7 @@ use ndp_workload::PaperGen;
 use nkv::ExecMode;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0 / 128.0);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0 / 128.0);
 
     println!("building the device and loading the publication graph (scale {scale}) ...");
     let module = ndp_spec::parse(ndp_workload::PAPER_REF_SPEC).unwrap();
@@ -93,10 +90,7 @@ fn main() {
         );
         times.push(s.report.sim_ns);
     }
-    println!(
-        "hardware NDP speedup on SCAN: {:.2}x",
-        times[0] as f64 / times[1] as f64
-    );
+    println!("hardware NDP speedup on SCAN: {:.2}x", times[0] as f64 / times[1] as f64);
 
     // --- SCAN on the edge table with 7 ref-PEs in parallel.
     let rules = [FilterRule { lane: ref_lanes::YEAR, op_code: 2, value: 1980 }];

@@ -54,8 +54,7 @@ fn main() {
     // 2-D (the paper's running example semantics).
     let mut sim = pe.simulator();
     let mut mem = VecMem::new(1 << 16);
-    let points: &[(u32, u32, u32)] =
-        &[(1, 100, 11), (2, 300, 22), (3, 250, 33), (4, 999, 44)];
+    let points: &[(u32, u32, u32)] = &[(1, 100, 11), (2, 300, 22), (3, 250, 33), (4, 999, 44)];
     let mut bytes = Vec::new();
     for &(x, y, z) in points {
         for v in [x, y, z] {

@@ -51,8 +51,7 @@ fn encode(device: u64, temp: i32, hum: f32, flags: u32, site: &str) -> Vec<u8> {
 }
 
 fn main() {
-    let artifacts =
-        generate_with_custom_ops(SPEC, &["in_band"]).expect("specification is valid");
+    let artifacts = generate_with_custom_ops(SPEC, &["in_band"]).expect("specification is valid");
     let pe = artifacts.pe("SensorV2").expect("parser defined");
     println!(
         "generated `{}`: {} lanes, 3 filtering stages, {} slices OOC",
@@ -62,9 +61,7 @@ fn main() {
     let mut sim = pe.simulator();
     // Bind the custom operator declared in the annotation: |a - b| small,
     // on the raw milli-degrees (the paper's extensible-operator hook).
-    assert!(sim.bind_custom_op("in_band", |_, a, b| {
-        (a as i64 - b as i64).abs() < 5_000
-    }));
+    assert!(sim.bind_custom_op("in_band", |_, a, b| { (a as i64 - b as i64).abs() < 5_000 }));
 
     // A day of readings from three sites.
     let mut mem = VecMem::new(1 << 16);
@@ -90,16 +87,8 @@ fn main() {
     let lt = pe.config.op_code("lt").unwrap();
     let eq = pe.config.op_code("eq").unwrap();
     let rules = [
-        FilterRule {
-            lane: lane("temp_milli_c"),
-            op_code: in_band,
-            value: 21_500i32 as u32 as u64,
-        },
-        FilterRule {
-            lane: lane("humidity"),
-            op_code: lt,
-            value: u64::from(0.6f32.to_bits()),
-        },
+        FilterRule { lane: lane("temp_milli_c"), op_code: in_band, value: 21_500i32 as u32 as u64 },
+        FilterRule { lane: lane("humidity"), op_code: lt, value: u64::from(0.6f32.to_bits()) },
         FilterRule {
             lane: lane("site.prefix"),
             op_code: eq,

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints (deny warnings), and the test suite.
+# Run from anywhere; operates on the repo this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -6,8 +6,8 @@
 use ndp_core::generate;
 use ndp_ir::{elaborate, AggOp};
 use ndp_pe::oracle::FilterRule;
-use ndp_pe::{PeSim, VecMem};
 use ndp_pe::MemBus;
+use ndp_pe::{PeSim, VecMem};
 use ndp_swgen::{DriverProfile, FilterJob, PeDriver};
 use nkv::{ExecMode, NkvDb, NkvError, TableConfig};
 
@@ -31,9 +31,7 @@ fn driver_with_data() -> (PeDriver<PeSim>, VecMem, u32) {
     let sim = pe.simulator();
     let mut mem = VecMem::new(1 << 16);
     let mut bytes = Vec::new();
-    for (id, temp, n) in
-        [(1u64, -5i32, 10u32), (2, 3, 20), (3, -9, 30), (4, 7, 40), (5, 0, 50)]
-    {
+    for (id, temp, n) in [(1u64, -5i32, 10u32), (2, 3, 20), (3, -9, 30), (4, 7, 40), (5, 0, 50)] {
         bytes.extend_from_slice(&record(id, temp, n));
     }
     mem.write_bytes(0, &bytes);
@@ -47,14 +45,7 @@ fn run_agg(
     rules: Vec<FilterRule>,
     agg: (AggOp, u32),
 ) -> u64 {
-    let job = FilterJob {
-        src: 0,
-        len,
-        dst: 0x8000,
-        capacity: 4096,
-        rules,
-        aggregate: Some(agg),
-    };
+    let job = FilterJob { src: 0, len, dst: 0x8000, capacity: 4096, rules, aggregate: Some(agg) };
     drv.filter_sync(mem, &job).aggregate.expect("aggregate requested")
 }
 
@@ -66,14 +57,8 @@ fn count_sum_min_max_through_the_generated_interface() {
     // SUM of n.
     assert_eq!(run_agg(&mut drv, &mut mem, len, vec![], (AggOp::Sum, 2)), 150);
     // MIN/MAX of the *signed* temp lane: type-aware ordering.
-    assert_eq!(
-        run_agg(&mut drv, &mut mem, len, vec![], (AggOp::Min, 1)) as u32 as i32,
-        -9
-    );
-    assert_eq!(
-        run_agg(&mut drv, &mut mem, len, vec![], (AggOp::Max, 1)) as u32 as i32,
-        7
-    );
+    assert_eq!(run_agg(&mut drv, &mut mem, len, vec![], (AggOp::Min, 1)) as u32 as i32, -9);
+    assert_eq!(run_agg(&mut drv, &mut mem, len, vec![], (AggOp::Max, 1)) as u32 as i32, 7);
 }
 
 #[test]
@@ -119,15 +104,9 @@ fn aggregation_unit_costs_a_small_slice_premium() {
          typedef struct { uint64_t id; int32_t temp; uint32_t n; } R;",
     )
     .unwrap();
-    let (a, b) = (
-        with.pes[0].report.slices_in_context,
-        without.pes[0].report.slices_in_context,
-    );
+    let (a, b) = (with.pes[0].report.slices_in_context, without.pes[0].report.slices_in_context);
     assert!(a > b, "aggregation hardware is not free");
-    assert!(
-        f64::from(a - b) / f64::from(b) < 0.15,
-        "premium should be small: {a} vs {b}"
-    );
+    assert!(f64::from(a - b) / f64::from(b) < 0.15, "premium should be small: {a} vs {b}");
     // ... and the Verilog contains the unit.
     assert!(with.pes[0].verilog.contains("aggregate_unit_w64_ops4_l3"));
 }
@@ -153,19 +132,15 @@ fn db_level_aggregate_pushdown_matches_software() {
     db.bulk_load("t", recs.clone()).unwrap();
 
     let rules = [FilterRule { lane: 1, op_code: 4 /* ge */, value: 2000 }];
-    let (hw_sum, hw_any, hw_rep) = db
-        .scan_aggregate("t", &rules, AggOp::Sum, 2, ExecMode::Hardware)
-        .unwrap();
-    let (sw_sum, sw_any, _) = db
-        .scan_aggregate("t", &rules, AggOp::Sum, 2, ExecMode::Software)
-        .unwrap();
+    let (hw_sum, hw_any, hw_rep) =
+        db.scan_aggregate("t", &rules, AggOp::Sum, 2, ExecMode::Hardware).unwrap();
+    let (sw_sum, sw_any, _) =
+        db.scan_aggregate("t", &rules, AggOp::Sum, 2, ExecMode::Software).unwrap();
     assert!(hw_any && sw_any);
     assert_eq!(hw_sum, sw_sum);
     // Independent expectation from the raw records.
-    let expected: u64 = (1..=5000u64)
-        .filter(|k| 1950 + (k % 70) >= 2000)
-        .map(|k| k * 3 % 997)
-        .sum();
+    let expected: u64 =
+        (1..=5000u64).filter(|k| 1950 + (k % 70) >= 2000).map(|k| k * 3 % 997).sum();
     assert_eq!(hw_sum, expected);
     // The pushdown's point: only 8 result bytes leave the device.
     assert_eq!(hw_rep.result_bytes, 8);

@@ -6,7 +6,7 @@ use ndp_core::generate;
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
 use ndp_pe::regs::offsets;
 use ndp_pe::{MemBus, Mmio, PeDevice, VecMem};
-use rand::{Rng, SeedableRng};
+use ndp_workload::SplitMix64;
 
 /// Run a generated PE over `input` with `rules`; return its output bytes.
 fn run_pe(
@@ -54,21 +54,21 @@ fn generated_pe_equals_oracle_on_random_blocks() {
     let bp = BlockProcessor::new(cfg);
     let ops = OpTable::from_config(cfg);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = SplitMix64::new(42);
     for trial in 0..8 {
-        let n = rng.gen_range(1..200usize);
+        let n = 1 + rng.gen_usize(199);
         let mut input = vec![0u8; n * cfg.input.tuple_bytes() as usize];
-        rng.fill(&mut input[..]);
+        rng.fill_bytes(&mut input[..]);
         let rules = [
             FilterRule {
-                lane: rng.gen_range(0..cfg.input.lanes),
-                op_code: rng.gen_range(0..7),
-                value: rng.gen::<u32>() as u64,
+                lane: rng.gen_u32(cfg.input.lanes),
+                op_code: rng.gen_u32(7),
+                value: u64::from(rng.next_u32()),
             },
             FilterRule {
-                lane: rng.gen_range(0..cfg.input.lanes),
-                op_code: rng.gen_range(0..7),
-                value: rng.gen::<u16>() as u64,
+                lane: rng.gen_u32(cfg.input.lanes),
+                op_code: rng.gen_u32(7),
+                value: u64::from(rng.next_u32() as u16),
             },
         ];
         let (hw_out, tin, tout) = run_pe(&arts, "Mix", &input, &rules);
@@ -103,16 +103,10 @@ fn all_standard_operators_behave_end_to_end() {
         ("le", 10, vec![0, 1, 5, 10]),
     ];
     for (op, val, expect) in cases {
-        let rules = [FilterRule {
-            lane: 0,
-            op_code: cfg.op_code(op).unwrap(),
-            value: *val,
-        }];
+        let rules = [FilterRule { lane: 0, op_code: cfg.op_code(op).unwrap(), value: *val }];
         let (out, _, tout) = run_pe(&arts, "Ops", &input, &rules);
-        let got: Vec<u32> = out
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let got: Vec<u32> =
+            out.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(&got, expect, "operator {op}");
         assert_eq!(tout as usize, expect.len());
     }
@@ -141,9 +135,7 @@ fn header_and_verilog_are_consistent_with_the_config() {
     }
     assert!(pe.verilog.contains("compare_unit_w64_ops7"));
     // The regfile is sized exactly to the map.
-    assert!(pe
-        .verilog
-        .contains(&format!("ctrl_regfile_n{}", pe.register_map.len())));
+    assert!(pe.verilog.contains(&format!("ctrl_regfile_n{}", pe.register_map.len())));
 }
 
 #[test]
@@ -165,10 +157,7 @@ fn regenerating_after_format_evolution_changes_only_what_it_should() {
     assert!(p2.report.slices_in_context > p1.report.slices_in_context);
     // Same register protocol: the firmware interface is stable.
     assert_eq!(p1.register_map.regs.len(), p2.register_map.regs.len());
-    assert_eq!(
-        p1.register_map.filter_counter_offset(),
-        p2.register_map.filter_counter_offset()
-    );
+    assert_eq!(p1.register_map.filter_counter_offset(), p2.register_map.filter_counter_offset());
 }
 
 #[test]

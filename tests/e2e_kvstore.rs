@@ -44,8 +44,7 @@ fn hardware_and_software_agree_after_updates_and_deletes() {
     assert_eq!(sw.records, hw.records);
     // Exactly the updated-but-not-deleted papers have year < 1950
     // (i = 0 is both updated and later deleted).
-    let expected =
-        (0..cfg.papers).step_by(97).filter(|i| i % 301 != 0).count() as u64;
+    let expected = (0..cfg.papers).step_by(97).filter(|i| i % 301 != 0).count() as u64;
     assert_eq!(sw.count, expected);
     // GETs agree too.
     for i in [0u64, 97, 301, 1234] {
@@ -60,9 +59,7 @@ fn injected_ecc_fault_surfaces_as_flash_error() {
     let (mut db, _) = papers_db();
     // Poison a page belonging to the table's data (probe the first
     // allocated addresses — placement starts at page 0 of each LUN).
-    db.platform_mut()
-        .flash
-        .inject_bad_page(PhysAddr { channel: 0, lun: 2, page: 0 });
+    db.platform_mut().flash.inject_bad_page(PhysAddr { channel: 0, lun: 2, page: 0 });
     let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 1000 }];
     // The scan must fail loudly (never silently drop data), whichever
     // block the bad page lands in.
@@ -72,9 +69,7 @@ fn injected_ecc_fault_surfaces_as_flash_error() {
         other => panic!("expected uncorrectable-ECC error, got {other:?}"),
     }
     // Healing restores service.
-    db.platform_mut()
-        .flash
-        .heal_page(PhysAddr { channel: 0, lun: 2, page: 0 });
+    db.platform_mut().flash.heal_page(PhysAddr { channel: 0, lun: 2, page: 0 });
     assert!(db.scan("papers", &rules, ExecMode::Hardware).is_ok());
 }
 

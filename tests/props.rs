@@ -1,17 +1,20 @@
 //! Property-based tests over the core invariants of the stack.
 //!
-//! Strategies generate *specification sources* (random struct shapes),
-//! random tuple bytes, random filter chains and random KV workloads;
-//! properties assert the invariants DESIGN.md calls out: layout
-//! well-formedness, codec round-trips, filter/transform semantics against
-//! naive models, LSM linearizability against a `BTreeMap`, and storage
-//! integrity primitives.
+//! Generators produce *specification sources* (random struct shapes),
+//! random tuple bytes, random filter chains and random KV workloads from
+//! a seeded [`SplitMix64`] stream (the workspace builds offline, so no
+//! external proptest dependency); properties assert the invariants
+//! DESIGN.md calls out: layout well-formedness, codec round-trips,
+//! filter/transform semantics against naive models, LSM linearizability
+//! against a `BTreeMap`, and storage integrity primitives. Every case is
+//! deterministic in its loop index, so a failure message's case number
+//! reproduces it exactly.
 
 use ndp_ir::{elaborate, CmpOp, PeConfig};
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
 use ndp_pe::tuple::{apply_transform, LayoutCodec, Tuple};
 use ndp_spec::PrimTy;
-use proptest::prelude::*;
+use ndp_workload::SplitMix64;
 
 // ---------------------------------------------------------------- helpers
 
@@ -23,23 +26,25 @@ enum FieldShape {
     Str { prefix: u32, total: usize },
 }
 
-fn prim_name() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec![
-        "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t",
-        "int64_t", "float", "double",
-    ])
+const PRIMS: &[&str] = &[
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t",
+    "float", "double",
+];
+
+fn gen_field_shape(rng: &mut SplitMix64) -> FieldShape {
+    // Weighted 4:2:1 like the original strategy.
+    match rng.gen_u32(7) {
+        0..=3 => FieldShape::Prim(PRIMS[rng.gen_usize(PRIMS.len())]),
+        4 | 5 => FieldShape::Array(PRIMS[rng.gen_usize(PRIMS.len())], 1 + rng.gen_usize(4)),
+        _ => {
+            let prefix = [1u32, 2, 4, 8][rng.gen_usize(4)];
+            FieldShape::Str { prefix, total: prefix as usize + rng.gen_usize(24) }
+        }
+    }
 }
 
-fn field_shape() -> impl Strategy<Value = FieldShape> {
-    prop_oneof![
-        4 => prim_name().prop_map(FieldShape::Prim),
-        2 => (prim_name(), 1..5usize).prop_map(|(p, n)| FieldShape::Array(p, n)),
-        1 => (prop::sample::select(vec![1u32, 2, 4, 8]), 0..24usize)
-            .prop_map(|(prefix, extra)| FieldShape::Str {
-                prefix,
-                total: prefix as usize + extra,
-            }),
-    ]
+fn gen_fields(rng: &mut SplitMix64) -> Vec<FieldShape> {
+    (0..1 + rng.gen_usize(7)).map(|_| gen_field_shape(rng)).collect()
 }
 
 /// Render a random struct spec with an identity parser.
@@ -49,9 +54,9 @@ fn spec_source(fields: &[FieldShape]) -> String {
         match f {
             FieldShape::Prim(p) => body.push_str(&format!("{p} f{i}; ")),
             FieldShape::Array(p, n) => body.push_str(&format!("{p} f{i}[{n}]; ")),
-            FieldShape::Str { prefix, total } => body.push_str(&format!(
-                "/* @string(prefix = {prefix}) */ uint8_t f{i}[{total}]; "
-            )),
+            FieldShape::Str { prefix, total } => {
+                body.push_str(&format!("/* @string(prefix = {prefix}) */ uint8_t f{i}[{total}]; "))
+            }
         }
     }
     format!(
@@ -60,95 +65,98 @@ fn spec_source(fields: &[FieldShape]) -> String {
     )
 }
 
-fn arb_config() -> impl Strategy<Value = PeConfig> {
-    prop::collection::vec(field_shape(), 1..8).prop_map(|fields| {
-        let src = spec_source(&fields);
-        let m = ndp_spec::parse(&src).expect("generated source parses");
-        elaborate(&m, "P").expect("generated source elaborates")
-    })
+fn gen_config(rng: &mut SplitMix64) -> PeConfig {
+    let src = spec_source(&gen_fields(rng));
+    let m = ndp_spec::parse(&src).expect("generated source parses");
+    elaborate(&m, "P").expect("generated source elaborates")
+}
+
+fn random_bytes(rng: &mut SplitMix64, n: usize) -> Vec<u8> {
+    let mut v = vec![0u8; n];
+    rng.fill_bytes(&mut v);
+    v
 }
 
 // ---------------------------------------------------------- layout props
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Layout invariants: fields tile the tuple contiguously, every
-    /// relevant field gets a unique lane, lane width is the max field
-    /// width, padded size is lanes × lane width + postfix bits.
-    #[test]
-    fn layout_invariants(cfg in arb_config()) {
+/// Layout invariants: fields tile the tuple contiguously, every relevant
+/// field gets a unique lane, lane width is the max field width, padded
+/// size is lanes × lane width + postfix bits.
+#[test]
+fn layout_invariants() {
+    for case in 0..32u64 {
+        let cfg = gen_config(&mut SplitMix64::new(0x1A10 + case));
         let l = &cfg.input;
         let mut offset = 0u64;
         let mut lanes_seen = std::collections::HashSet::new();
         for f in &l.fields {
-            prop_assert_eq!(f.offset_bits, offset, "field {} not contiguous", f.path);
+            assert_eq!(f.offset_bits, offset, "case {case}: field {} not contiguous", f.path);
             offset += u64::from(f.width_bits);
             if let Some(lane) = f.lane {
-                prop_assert!(lanes_seen.insert(lane), "duplicate lane");
-                prop_assert!(f.width_bits <= l.lane_bits);
+                assert!(lanes_seen.insert(lane), "case {case}: duplicate lane");
+                assert!(f.width_bits <= l.lane_bits, "case {case}");
             }
         }
-        prop_assert_eq!(offset, l.tuple_bits);
-        prop_assert_eq!(lanes_seen.len() as u32, l.lanes);
-        prop_assert_eq!(
+        assert_eq!(offset, l.tuple_bits, "case {case}");
+        assert_eq!(lanes_seen.len() as u32, l.lanes, "case {case}");
+        assert_eq!(
             l.padded_bits(),
-            u64::from(l.lanes) * u64::from(l.lane_bits) + l.postfix_bits
+            u64::from(l.lanes) * u64::from(l.lane_bits) + l.postfix_bits,
+            "case {case}"
         );
         let max_rel = l.relevant_fields().map(|f| f.width_bits).max().unwrap();
-        prop_assert_eq!(l.lane_bits, max_rel);
+        assert_eq!(l.lane_bits, max_rel, "case {case}");
     }
+}
 
-    /// Parser/printer round-trip: printing a parsed module and re-parsing
-    /// it preserves semantics (the printer is the span-free normal form).
-    #[test]
-    fn spec_print_parse_round_trips(fields in prop::collection::vec(field_shape(), 1..8)) {
-        let src = spec_source(&fields);
+/// Parser/printer round-trip: printing a parsed module and re-parsing it
+/// preserves semantics (the printer is the span-free normal form).
+#[test]
+fn spec_print_parse_round_trips() {
+    for case in 0..32u64 {
+        let src = spec_source(&gen_fields(&mut SplitMix64::new(0x2B20 + case)));
         let m1 = ndp_spec::parse(&src).expect("generated source parses");
         let printed = ndp_spec::print_module(&m1);
         let m2 = ndp_spec::parse(&printed).expect("printed source re-parses");
-        prop_assert_eq!(ndp_spec::print_module(&m1), ndp_spec::print_module(&m2));
+        assert_eq!(ndp_spec::print_module(&m1), ndp_spec::print_module(&m2), "case {case}");
     }
+}
 
-    /// Codec round-trip: unpack→pack is the identity on arbitrary bytes.
-    #[test]
-    fn codec_round_trips(cfg in arb_config(), seed in any::<u64>()) {
+/// Codec round-trip: unpack→pack is the identity on arbitrary bytes.
+#[test]
+fn codec_round_trips() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0x3C30 + case);
+        let cfg = gen_config(&mut rng);
         let codec = LayoutCodec::new(&cfg.input);
-        let n = codec.tuple_bytes();
-        let mut bytes = vec![0u8; n];
-        let mut state = seed | 1;
-        for b in &mut bytes {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            *b = (state >> 33) as u8;
-        }
+        let bytes = random_bytes(&mut rng, codec.tuple_bytes());
         let t = codec.unpack(&bytes);
         let mut out = Vec::new();
         codec.pack_into(&t, &mut out);
-        prop_assert_eq!(out, bytes);
+        assert_eq!(out, bytes, "case {case}");
     }
+}
 
-    /// Identity transforms preserve tuples exactly.
-    #[test]
-    fn identity_transform_is_identity(cfg in arb_config(), seed in any::<u64>()) {
+/// Identity transforms preserve tuples exactly.
+#[test]
+fn identity_transform_is_identity() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0x4D40 + case);
+        let cfg = gen_config(&mut rng);
         let codec = LayoutCodec::new(&cfg.input);
-        let mut bytes = vec![0u8; codec.tuple_bytes()];
-        let mut state = seed | 1;
-        for b in &mut bytes {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            *b = (state >> 29) as u8;
-        }
+        let bytes = random_bytes(&mut rng, codec.tuple_bytes());
         let input = codec.unpack(&bytes);
         let mut output = Tuple::default();
         apply_transform(&cfg.transform, &codec, &codec, &input, &mut output);
-        prop_assert_eq!(output, input);
+        assert_eq!(output, input, "case {case}");
     }
 }
 
 // ---------------------------------------------------------- filter props
 
 /// Naive reference model of one comparison, written independently of
-/// `CmpOp::eval` (full-width integer semantics only; the strategy below
-/// restricts lanes accordingly).
+/// `CmpOp::eval` (full-width integer semantics only; float-typed lanes
+/// are skipped by the caller).
 fn naive_cmp(op: u32, prim: PrimTy, a: u64, b: u64) -> Option<bool> {
     let (a, b) = match prim {
         PrimTy::U8 | PrimTy::U16 | PrimTy::U32 | PrimTy::U64 => (i128::from(a), i128::from(b)),
@@ -170,87 +178,84 @@ fn naive_cmp(op: u32, prim: PrimTy, a: u64, b: u64) -> Option<bool> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The oracle's filter chain equals the conjunction of naive
-    /// comparisons for every non-float lane.
-    #[test]
-    fn filter_chain_matches_naive_model(
-        cfg in arb_config(),
-        seed in any::<u64>(),
-        rule_seeds in prop::collection::vec((any::<u32>(), 0..7u32, any::<u64>()), 1..4),
-    ) {
+/// The oracle's filter chain equals the conjunction of naive comparisons
+/// for every non-float lane.
+#[test]
+fn filter_chain_matches_naive_model() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x5E50 + case);
+        let cfg = gen_config(&mut rng);
         let bp = BlockProcessor::new(&cfg);
         let ops = OpTable::from_config(&cfg);
         let codec = LayoutCodec::new(&cfg.input);
-        let mut bytes = vec![0u8; codec.tuple_bytes()];
-        let mut state = seed | 1;
-        for b in &mut bytes {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            *b = (state >> 31) as u8;
-        }
+        let bytes = random_bytes(&mut rng, codec.tuple_bytes());
         let t = codec.unpack(&bytes);
-        let rules: Vec<FilterRule> = rule_seeds
-            .iter()
-            .map(|&(lane_seed, op, value)| FilterRule {
-                lane: lane_seed % cfg.input.lanes,
-                op_code: op,
-                value,
+        let rules: Vec<FilterRule> = (0..1 + rng.gen_usize(3))
+            .map(|_| FilterRule {
+                lane: rng.gen_u32(cfg.input.lanes),
+                op_code: rng.gen_u32(7),
+                value: rng.next_u64(),
             })
             .collect();
-        // Skip tuples whose selected lanes are float-typed (naive model
-        // doesn't cover IEEE semantics; CmpOp's own unit tests do).
+        // Skip tuples whose selected lanes are float-typed (the naive
+        // model doesn't cover IEEE semantics; CmpOp's unit tests do).
         let mut expected = true;
+        let mut all_integer = true;
         for r in &rules {
             let prim = codec.lane_prim(r.lane).unwrap();
             match naive_cmp(r.op_code, prim, t.lanes[r.lane as usize], r.value) {
                 Some(pass) => expected &= pass,
-                None => return Ok(()),
+                None => {
+                    all_integer = false;
+                    break;
+                }
             }
         }
-        prop_assert_eq!(bp.tuple_passes(&bytes, &rules, &ops), expected);
+        if all_integer {
+            assert_eq!(bp.tuple_passes(&bytes, &rules, &ops), expected, "case {case}");
+        }
     }
+}
 
-    /// CmpOp total-order consistency: exactly one of <, ==, > holds for
-    /// non-NaN operands, and the derived operators agree.
-    #[test]
-    fn cmp_op_order_consistency(a in any::<u64>(), b in any::<u64>()) {
+/// CmpOp total-order consistency: exactly one of <, ==, > holds for
+/// non-NaN operands, and the derived operators agree.
+#[test]
+fn cmp_op_order_consistency() {
+    let mut rng = SplitMix64::new(0x6F60);
+    for case in 0..48u64 {
+        let (a, b) = (rng.next_u64(), if case % 5 == 0 { 0 } else { rng.next_u64() });
         for prim in [PrimTy::U32, PrimTy::I64, PrimTy::U8, PrimTy::I16] {
             let lt = CmpOp::Lt.eval(prim, a, b);
             let eq = CmpOp::Eq.eval(prim, a, b);
             let gt = CmpOp::Gt.eval(prim, a, b);
-            prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
-            prop_assert_eq!(CmpOp::Ge.eval(prim, a, b), !lt);
-            prop_assert_eq!(CmpOp::Le.eval(prim, a, b), !gt);
-            prop_assert_eq!(CmpOp::Ne.eval(prim, a, b), !eq);
-            prop_assert!(CmpOp::Nop.eval(prim, a, b));
+            assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1, "case {case}");
+            assert_eq!(CmpOp::Ge.eval(prim, a, b), !lt, "case {case}");
+            assert_eq!(CmpOp::Le.eval(prim, a, b), !gt, "case {case}");
+            assert_eq!(CmpOp::Ne.eval(prim, a, b), !eq, "case {case}");
+            assert!(CmpOp::Nop.eval(prim, a, b), "case {case}");
         }
     }
+}
 
-    /// The cycle-level PE equals the byte oracle on arbitrary blocks and
-    /// single rules (deep equivalence of the two execution models).
-    #[test]
-    fn cycle_model_equals_oracle(
-        cfg in arb_config(),
-        seed in any::<u64>(),
-        lane_seed in any::<u32>(),
-        op in 0..7u32,
-        value in any::<u64>(),
-        n_tuples in 1..40usize,
-    ) {
-        use ndp_pe::regs::offsets;
-        use ndp_pe::{MemBus, Mmio, PeDevice, PeSim, VecMem};
+/// The cycle-level PE equals the byte oracle on arbitrary blocks and
+/// single rules (deep equivalence of the two execution models).
+#[test]
+fn cycle_model_equals_oracle() {
+    use ndp_pe::regs::offsets;
+    use ndp_pe::{MemBus, Mmio, PeDevice, PeSim, VecMem};
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x7A70 + case);
+        let cfg = gen_config(&mut rng);
         let bp = BlockProcessor::new(&cfg);
         let ops = OpTable::from_config(&cfg);
         let ts = cfg.input.tuple_bytes() as usize;
-        let mut input = vec![0u8; n_tuples * ts];
-        let mut state = seed | 1;
-        for byte in &mut input {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            *byte = (state >> 30) as u8;
-        }
-        let rule = FilterRule { lane: lane_seed % cfg.input.lanes, op_code: op, value };
+        let n_tuples = 1 + rng.gen_usize(39);
+        let input = random_bytes(&mut rng, n_tuples * ts);
+        let rule = FilterRule {
+            lane: rng.gen_u32(cfg.input.lanes),
+            op_code: rng.gen_u32(7),
+            value: rng.next_u64(),
+        };
 
         let mut expected = Vec::new();
         let stats = bp.process_block(&input, std::slice::from_ref(&rule), &ops, &mut expected);
@@ -267,32 +272,28 @@ proptest! {
         pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_VAL_HI, (rule.value >> 32) as u32);
         pe.mmio_write(offsets::START, 1);
         let res = pe.execute(&mut mem);
-        prop_assert_eq!(res.tuples_in, stats.tuples_in);
-        prop_assert_eq!(res.tuples_out, stats.tuples_out);
+        assert_eq!(res.tuples_in, stats.tuples_in, "case {case}");
+        assert_eq!(res.tuples_out, stats.tuples_out, "case {case}");
         let mut got = vec![0u8; expected.len()];
         mem.read_bytes(0x8_0000, &mut got);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
 }
 
 // ------------------------------------------------------------- LSM props
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The LSM tree (through flush and compaction) is observationally
+/// equivalent to a `BTreeMap` under random put/delete sequences.
+#[test]
+fn lsm_matches_btreemap_model() {
+    use cosmos_sim::{FlashArray, FlashConfig};
+    use nkv::lsm::{LsmConfig, LsmTree};
+    use nkv::memtable::Entry;
+    use nkv::placement::PageAllocator;
+    use nkv::sst::{read_block, search_block};
 
-    /// The LSM tree (through flush and compaction) is observationally
-    /// equivalent to a `BTreeMap` under random put/delete sequences.
-    #[test]
-    fn lsm_matches_btreemap_model(
-        ops_seq in prop::collection::vec((1u64..64, any::<bool>(), any::<u8>()), 1..300),
-        flush_every in 10..50usize,
-    ) {
-        use nkv::lsm::{LsmConfig, LsmTree};
-        use nkv::memtable::Entry;
-        use nkv::placement::PageAllocator;
-        use nkv::sst::{read_block, search_block};
-        use cosmos_sim::{FlashArray, FlashConfig};
-
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x8B80 + case);
         let mut flash = FlashArray::new(FlashConfig::default());
         let mut alloc = PageAllocator::new(flash.config());
         let cfg = LsmConfig { memtable_bytes: 1 << 14, c1_sst_limit: 2, ..LsmConfig::default() };
@@ -305,8 +306,12 @@ proptest! {
             v
         };
 
-        for (i, &(key, is_put, tag)) in ops_seq.iter().enumerate() {
-            if is_put {
+        let n_ops = 1 + rng.gen_usize(299);
+        let flush_every = 10 + rng.gen_usize(40);
+        for i in 0..n_ops {
+            let key = rng.gen_range_u64(1, 64);
+            let tag = rng.next_u32() as u8;
+            if rng.gen_bool(0.5) {
                 lsm.put(key, rec(key, tag));
                 model.insert(key, rec(key, tag));
             } else {
@@ -346,20 +351,24 @@ proptest! {
                     found
                 }
             };
-            prop_assert_eq!(&got, &model.get(&key).cloned(), "key {}", key);
+            assert_eq!(&got, &model.get(&key).cloned(), "case {case} key {key}");
         }
     }
+}
 
-    /// SST index serialization round-trips for arbitrary record sizes
-    /// and key sets.
-    #[test]
-    fn sst_index_round_trips(
-        keys in prop::collection::btree_set(1u64..100_000, 1..200),
-        record_bytes in prop::sample::select(vec![8usize, 12, 16, 20, 40, 80]),
-    ) {
-        use nkv::placement::PageAllocator;
-        use nkv::sst::{deserialize_index, serialize_index, SstBuilder};
-        use cosmos_sim::{FlashArray, FlashConfig};
+/// SST index serialization round-trips for arbitrary record sizes and
+/// key sets.
+#[test]
+fn sst_index_round_trips() {
+    use cosmos_sim::{FlashArray, FlashConfig};
+    use nkv::placement::PageAllocator;
+    use nkv::sst::{deserialize_index, serialize_index, SstBuilder};
+
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x9C90 + case);
+        let record_bytes = [8usize, 12, 16, 20, 40, 80][rng.gen_usize(6)];
+        let keys: std::collections::BTreeSet<u64> =
+            (0..1 + rng.gen_usize(199)).map(|_| rng.gen_range_u64(1, 100_000)).collect();
 
         let mut flash = FlashArray::new(FlashConfig::default());
         let mut alloc = PageAllocator::new(flash.config());
@@ -371,37 +380,42 @@ proptest! {
         }
         let (meta, _) = b.finish(&mut flash, &mut alloc, 0).unwrap();
         let back = deserialize_index(&serialize_index(&meta)).unwrap();
-        prop_assert_eq!(back.blocks, meta.blocks);
-        prop_assert_eq!(back.n_records, meta.n_records);
-        prop_assert_eq!((back.min_key, back.max_key), (meta.min_key, meta.max_key));
+        assert_eq!(back.blocks, meta.blocks, "case {case}");
+        assert_eq!(back.n_records, meta.n_records, "case {case}");
+        assert_eq!((back.min_key, back.max_key), (meta.min_key, meta.max_key), "case {case}");
     }
+}
 
-    /// CRC-32C detects any single-byte corruption in a block.
-    #[test]
-    fn crc_detects_any_single_byte_change(
-        data in prop::collection::vec(any::<u8>(), 1..2048),
-        pos_seed in any::<usize>(),
-        delta in 1u8..=255,
-    ) {
+/// CRC-32C detects any single-byte corruption in a block.
+#[test]
+fn crc_detects_any_single_byte_change() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xAD00 + case);
+        let len = 1 + rng.gen_usize(2047);
+        let data = random_bytes(&mut rng, len);
         let clean = nkv::util::crc32c(&data);
         let mut corrupted = data.clone();
-        let pos = pos_seed % corrupted.len();
+        let pos = rng.gen_usize(corrupted.len());
+        let delta = 1 + rng.next_u32() as u8 % 255;
         corrupted[pos] ^= delta;
-        prop_assert_ne!(nkv::util::crc32c(&corrupted), clean);
+        assert_ne!(nkv::util::crc32c(&corrupted), clean, "case {case}");
     }
+}
 
-    /// Bloom filters never produce false negatives.
-    #[test]
-    fn bloom_never_false_negative(
-        keys in prop::collection::hash_set(any::<u64>(), 1..500),
-        bits_per_key in 4u32..16,
-    ) {
+/// Bloom filters never produce false negatives.
+#[test]
+fn bloom_never_false_negative() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0xBE10 + case);
+        let keys: std::collections::HashSet<u64> =
+            (0..1 + rng.gen_usize(499)).map(|_| rng.next_u64()).collect();
+        let bits_per_key = 4 + rng.gen_u32(12);
         let mut bloom = nkv::util::Bloom::new(keys.len(), bits_per_key);
         for &k in &keys {
             bloom.insert(k);
         }
         for &k in &keys {
-            prop_assert!(bloom.may_contain(k));
+            assert!(bloom.may_contain(k), "case {case}");
         }
     }
 }

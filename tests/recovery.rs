@@ -39,8 +39,7 @@ fn recovery_preserves_reads_scans_and_tombstones() {
     // Power cycle: only the flash array survives.
     let mut fresh = cosmos_sim::CosmosPlatform::default_platform();
     fresh.flash = db.platform_mut().flash.clone();
-    let mut recovered =
-        NkvDb::recover(fresh, vec![("papers".into(), table_cfg())]).unwrap();
+    let mut recovered = NkvDb::recover(fresh, vec![("papers".into(), table_cfg())]).unwrap();
 
     let after = recovered.scan("papers", &rules, ExecMode::Hardware).unwrap();
     assert_eq!(after.records, before.records);
@@ -123,6 +122,73 @@ fn recovery_requires_a_config_for_every_table() {
         Err(NkvError::Config(msg)) => assert!(msg.contains("papers")),
         Err(other) => panic!("expected missing-config error, got {other:?}"),
         Ok(_) => panic!("expected missing-config error, got a recovered database"),
+    }
+}
+
+#[test]
+fn torn_manifest_slot_recovers_the_previous_epoch() {
+    // Two persists land in alternating slots. Tearing the newer slot
+    // (as a power cut mid-manifest-write would) must make recovery fall
+    // back to the older epoch's state — not fail, not mix the two.
+    let mut db = NkvDb::default_db();
+    db.create_table("papers", table_cfg()).unwrap();
+    let cfg = PubGraphConfig { papers: 500, refs: 500, seed: 26 };
+    db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+    db.persist().unwrap(); // epoch 1 -> slot 1
+    let mut extra = PaperGen::paper_at(&cfg, 0);
+    extra.id = 90_000;
+    db.put("papers", encode(&extra)).unwrap();
+    db.flush("papers").unwrap();
+    db.persist().unwrap(); // epoch 2 -> slot 0
+
+    let mut fresh = cosmos_sim::CosmosPlatform::default_platform();
+    fresh.flash = db.platform_mut().flash.clone();
+    // Tear epoch 2's slot: corrupt the first page of slot 0 (the
+    // topmost page of channel 0 / LUN 0).
+    let top = fresh.flash.config().pages_per_lun - 1;
+    let addr = cosmos_sim::PhysAddr { channel: 0, lun: 0, page: top };
+    let mut torn = fresh.flash.read_page(addr, 0).unwrap().1.to_vec();
+    torn.truncate(16); // only the header reached the cells
+    fresh.flash.program_page(addr, &torn, 0).unwrap();
+
+    let mut rec = NkvDb::recover(fresh, vec![("papers".into(), table_cfg())]).unwrap();
+    // Epoch 1 state: the bulk data is there, the later put is not.
+    let p = PaperGen::paper_at(&cfg, 123);
+    let (got, _) = rec.get("papers", p.id, ExecMode::Software).unwrap();
+    assert_eq!(got, Some(encode(&p)));
+    let (gone, _) = rec.get("papers", 90_000, ExecMode::Software).unwrap();
+    assert_eq!(gone, None, "the torn epoch's writes must not surface");
+}
+
+#[test]
+fn half_written_index_fails_with_a_typed_error() {
+    // A manifest that points at an index block whose pages never got
+    // (fully) written — the half-written-index crash window. Recovery
+    // must fail with a typed error, never panic or half-load the table.
+    use nkv::recovery::{write_manifest, Manifest, TableManifest};
+    let mut flash = cosmos_sim::FlashArray::new(cosmos_sim::FlashConfig::default());
+    let garbage = cosmos_sim::PhysAddr { channel: 3, lun: 1, page: 10 };
+    flash.program_page(garbage, &[0xAB; 64], 0).unwrap();
+    let unwritten = cosmos_sim::PhysAddr { channel: 3, lun: 1, page: 11 };
+    for bad_pages in [vec![garbage], vec![unwritten]] {
+        let manifest = Manifest {
+            epoch: 1,
+            tables: vec![TableManifest {
+                name: "papers".into(),
+                record_bytes: 80,
+                unique_keys: true,
+                ssts: vec![(0, bad_pages)],
+            }],
+        };
+        write_manifest(&mut flash, &manifest, 0).unwrap();
+        let mut fresh = cosmos_sim::CosmosPlatform::default_platform();
+        fresh.flash = flash.clone();
+        match NkvDb::recover(fresh, vec![("papers".into(), table_cfg())]) {
+            Err(NkvError::Config(msg)) => assert!(msg.contains("index")),
+            Err(NkvError::Flash(_)) => {} // unwritten index page
+            Err(other) => panic!("expected a typed index error, got {other:?}"),
+            Ok(_) => panic!("recovery must not succeed from a half-written index"),
+        }
     }
 }
 
