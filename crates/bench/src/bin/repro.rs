@@ -48,13 +48,16 @@ fn main() {
         "fig8" => fig8(),
         "fig9" => fig9(),
         "ablations" => ablations(scale),
+        "profile" => profile(scale),
         other => die(&format!("unknown experiment `{other}`")),
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations] [--scale F | --full]");
+    eprintln!(
+        "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile] [--scale F | --full]"
+    );
     std::process::exit(2)
 }
 
@@ -170,6 +173,51 @@ fn fig9() {
     println!(
         "  linear growth: ~{:.3}% per stage vs {:.3}% fixed template overhead",
         slope, rows[0].full_pct
+    );
+}
+
+fn profile(scale: f64) {
+    header("Profile — where the device time goes (observability stack)");
+    println!("building the database with metrics + tracing enabled ...");
+    let p = figures::profile(scale, 16);
+    let get = p.stats.metrics.op(nkv::OpKind::Get);
+    let scan = p.stats.metrics.op(nkv::OpKind::Scan);
+    let per_get = |ns: u64| ns as f64 / f64::from(p.n_gets) / 1e3;
+    println!("  GET (HW, {} ops) — busy time per op from the device trace:", p.n_gets);
+    println!(
+        "    flash: {:8.2} us   dram: {:6.2} us   pe: {:6.2} us   \
+         config regs: {:6.2} us   result data: {:6.2} us",
+        per_get(get.breakdown.flash_ns),
+        per_get(get.breakdown.dram_ns),
+        per_get(get.breakdown.pe_ns),
+        per_get(get.breakdown.cfg_ns),
+        per_get(get.breakdown.nvme_ns),
+    );
+    println!(
+        "    => config-register traffic costs {:.0}x the result transfer \
+         (Fig. 7a: why GET gains nothing from HW)",
+        get.breakdown.cfg_ns as f64 / get.breakdown.nvme_ns.max(1) as f64
+    );
+    println!(
+        "  SCAN (HW): flash-controller occupancy {:.1}% of wall time \
+         (the paper's flash-bandwidth bottleneck)",
+        p.scan_flash_occupancy * 100.0
+    );
+    println!(
+        "    busy time: flash {:.2} ms, dram {:.2} ms, pe {:.2} ms, \
+         cfg {:.3} ms, nvme {:.3} ms",
+        scan.breakdown.flash_ns as f64 / 1e6,
+        scan.breakdown.dram_ns as f64 / 1e6,
+        scan.breakdown.pe_ns as f64 / 1e6,
+        scan.breakdown.cfg_ns as f64 / 1e6,
+        scan.breakdown.nvme_ns as f64 / 1e6,
+    );
+    println!("  {}", p.stats.to_string().replace('\n', "\n  "));
+    println!(
+        "  trace: {} spans captured ({} bytes of Chrome trace_event JSON; \
+         see examples/profiling.rs to export)",
+        p.trace_events,
+        p.trace_json.len()
     );
 }
 

@@ -262,6 +262,62 @@ pub fn fig9() -> Vec<Fig9Row> {
         .collect()
 }
 
+// --------------------------------------------------------------- Profile
+
+/// Output of the observability demo (`repro -- profile`): op metrics,
+/// per-op time breakdowns and the flash-occupancy measurement, all from
+/// the device's own counters/trace rather than external bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The device's own stats snapshot (histograms + health).
+    pub stats: nkv::DeviceStats,
+    /// GETs profiled.
+    pub n_gets: u32,
+    /// Fraction of the SCAN's wall time the flash-controller DMA stage
+    /// was busy (averaged over the controllers); ≈1.0 when flash-bound.
+    pub scan_flash_occupancy: f64,
+    /// Spans captured device-wide.
+    pub trace_events: usize,
+    /// The captured spans, exported as Chrome `trace_event` JSON.
+    pub trace_json: String,
+}
+
+/// Run the profiling demo: a churned GET workload plus one full SCAN on
+/// the refs table, with the whole observability stack enabled (metrics,
+/// tracing, PE perf counters are all orthogonal to timing). `scale` is
+/// capped like the ablations — profiling needs shape, not volume.
+pub fn profile(scale: f64, n_gets: u32) -> Profile {
+    let scale = scale.min(1.0 / 64.0);
+    let mut ds = build_db(scale, DbKind::Ours);
+    churn_c1(&mut ds, 7);
+    ds.db.enable_observability(1 << 20);
+
+    for i in 0..n_gets {
+        let idx = (u64::from(i) * 7919) % ds.cfg.papers;
+        let p = PaperGen::paper_at(&ds.cfg, idx);
+        let (rec, _) = ds.db.get("papers", p.id, ExecMode::Hardware).expect("get succeeds");
+        assert!(rec.is_some(), "key {} must exist", p.id);
+    }
+
+    let busy0 = ds.db.platform_mut().flash.controller_busy_ns();
+    let scan = ds
+        .db
+        .scan(
+            "refs",
+            &[FilterRule { lane: ref_lanes::YEAR, op_code: ops::EQ, value: 1980 }],
+            ExecMode::Hardware,
+        )
+        .expect("refs scan succeeds");
+    let busy1 = ds.db.platform_mut().flash.controller_busy_ns();
+    let controllers = u64::from(ds.db.platform_mut().flash.config().controllers);
+    let scan_flash_occupancy = (busy1 - busy0) as f64 / (scan.report.sim_ns * controllers) as f64;
+
+    let stats = ds.db.device_stats();
+    let trace = ds.db.take_trace();
+    let trace_json = cosmos_sim::chrome_trace_json(&trace);
+    Profile { stats, n_gets, scan_flash_occupancy, trace_events: trace.len(), trace_json }
+}
+
 // ------------------------------------------------------------- Ablations
 
 /// SCAN time (extrapolated to full scale) vs ref-PE count.
@@ -426,6 +482,31 @@ mod tests {
         for r in &rows {
             assert!((r.half_pct - r.full_pct).abs() / r.full_pct < 0.10);
         }
+    }
+
+    #[test]
+    fn profile_shows_get_config_tax_and_flash_bound_scan() {
+        let p = profile(1.0 / 512.0, 4);
+        let get = p.stats.metrics.op(nkv::OpKind::Get);
+        assert_eq!(get.ops, 4);
+        // Fig. 7(a)'s explanation, measured from the device's own
+        // breakdown: GET spends more time on PE config registers than
+        // moving its result data.
+        assert!(
+            get.breakdown.cfg_ns >= get.breakdown.nvme_ns,
+            "cfg {} < data {}",
+            get.breakdown.cfg_ns,
+            get.breakdown.nvme_ns
+        );
+        // The SCAN is flash-bound: controller DMA busy ≈ the whole scan.
+        assert!(
+            (0.90..=1.01).contains(&p.scan_flash_occupancy),
+            "occupancy {}",
+            p.scan_flash_occupancy
+        );
+        assert!(p.trace_events > 0);
+        assert!(p.trace_json.starts_with("{\"traceEvents\":["));
+        assert!(p.stats.metrics.op(nkv::OpKind::Scan).breakdown.pe_ns > 0);
     }
 
     #[test]

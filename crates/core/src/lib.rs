@@ -20,7 +20,7 @@
 use ndp_hdl::verilog::emit_design;
 use ndp_ir::{IrError, PeConfig};
 use ndp_pe::regs::RegisterMap;
-use ndp_pe::template::{pe_design, pe_report, PeReport, PeVariant};
+use ndp_pe::template::{pe_design_opts, pe_report_opts, PeObservability, PeReport, PeVariant};
 use ndp_pe::PeSim;
 use ndp_spec::{SpecError, SpecModule};
 use std::fmt;
@@ -121,11 +121,14 @@ pub fn generate_with_custom_ops(source: &str, custom_ops: &[&str]) -> Result<Art
     let mut pes = Vec::with_capacity(module.parsers.len());
     for parser in &module.parsers {
         let config = ndp_ir::elaborate_with_custom_ops(&module, &parser.name, custom_ops)?;
-        let design = pe_design(&config, PeVariant::Generated);
+        // Exported artifacts carry the full observability bank so that
+        // Verilog, register map and C header stay mutually consistent
+        // (the CNT_* window the header advertises really exists in RTL).
+        let design = pe_design_opts(&config, PeVariant::Generated, PeObservability::Counters);
         let verilog = emit_design(&design);
         let c_header = ndp_swgen::generate_header(&config);
         let register_map = RegisterMap::for_config(&config);
-        let report = pe_report(&config, PeVariant::Generated);
+        let report = pe_report_opts(&config, PeVariant::Generated, PeObservability::Counters);
         pes.push(GeneratedPe { config, verilog, c_header, register_map, report });
     }
     Ok(Artifacts { pes })

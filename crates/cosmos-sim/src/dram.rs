@@ -9,6 +9,7 @@
 
 use crate::faults::{DramFaultState, DramFaultStats, FaultPlan};
 use crate::server::BandwidthLink;
+use crate::trace::{TraceEvent, TraceKind, TraceRing};
 use crate::SimNs;
 
 /// Who is using the DRAM port (for contention accounting).
@@ -34,6 +35,9 @@ pub struct Dram {
     /// Stall-burst injection state; `None` (the default) costs one
     /// branch per transfer and changes nothing else.
     faults: Option<DramFaultState>,
+    /// Event tracing; `None` (the default) costs one branch per
+    /// transfer and changes nothing else.
+    trace: Option<TraceRing>,
 }
 
 /// Zynq-7000 PS DDR3 effective bandwidth available to the PL masters
@@ -48,6 +52,7 @@ impl Dram {
             port: BandwidthLink::new(DRAM_PORT_BW),
             traffic: [0; 5],
             faults: None,
+            trace: None,
         }
     }
 
@@ -89,8 +94,41 @@ impl Dram {
                 start += stall;
             }
         }
-        let (_, finish) = self.port.transfer(start, bytes);
+        let (grant, finish) = self.port.transfer(start, bytes);
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                kind: TraceKind::DramTransfer { client, bytes, wait_ns: grant - now },
+                start: now,
+                dur: finish - now,
+            });
+        }
         finish
+    }
+
+    /// Start recording DRAM-port spans into a ring of `capacity` events.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// Stop recording and drop any buffered spans.
+    pub fn disable_tracing(&mut self) {
+        self.trace = None;
+    }
+
+    /// Whether DRAM spans are being recorded.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drain the buffered DRAM spans (oldest first; empty when tracing
+    /// is disabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(TraceRing::drain).unwrap_or_default()
+    }
+
+    /// Spans evicted from the DRAM ring because it was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map_or(0, TraceRing::dropped)
     }
 
     /// Install the stall-burst portion of a fault plan.

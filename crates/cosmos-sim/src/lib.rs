@@ -18,7 +18,9 @@
 //! * [`platform`] — the assembled device ([`CosmosPlatform`]);
 //! * [`faults`] — deterministic, seeded fault injection ([`FaultPlan`]):
 //!   transient/persistent/correctable flash faults, DRAM stall bursts,
-//!   PE hangs and power cuts, with zero overhead when disabled.
+//!   PE hangs and power cuts, with zero overhead when disabled;
+//! * [`trace`] — ring-buffered typed event spans in simulated time with
+//!   Chrome `trace_event` export, zero-cost when disabled.
 //!
 //! Simulated time is in **nanoseconds** ([`SimNs`]); both PL clock
 //! domains are exact in ns (10 ns at 100 MHz, 4 ns at 250 MHz).
@@ -30,6 +32,7 @@ pub mod flash;
 pub mod platform;
 pub mod server;
 pub mod timing;
+pub mod trace;
 
 pub use dram::Dram;
 pub use events::EventQueue;
@@ -37,6 +40,7 @@ pub use faults::{FaultPlan, FaultRng, FlashFaultKind, ScheduledFault};
 pub use flash::{FlashArray, FlashConfig, FlashError, PhysAddr};
 pub use platform::{CosmosConfig, CosmosPlatform, FirmwareEra};
 pub use server::{BandwidthLink, Server};
+pub use trace::{chrome_trace_json, TraceEvent, TraceKind, TraceRing};
 
 /// Simulated time in nanoseconds.
 pub type SimNs = u64;

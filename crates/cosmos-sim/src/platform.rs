@@ -11,6 +11,7 @@ use crate::dram::Dram;
 use crate::faults::{FaultPlan, PeFaultState};
 use crate::flash::{FlashArray, FlashConfig};
 use crate::server::{BandwidthLink, Server};
+use crate::trace::{TraceEvent, TraceKind, TraceRing};
 use crate::{timing, SimNs};
 
 /// Which firmware generation timing applies.
@@ -61,6 +62,9 @@ pub struct CosmosPlatform {
     /// PE-hang injection state; `None` (the default) means every
     /// hang roll answers "no" without drawing randomness.
     pe_faults: Option<PeFaultState>,
+    /// Platform-level span ring (PE jobs, NVMe transfers, register
+    /// accesses); `None` (the default) costs one branch per record site.
+    trace: Option<TraceRing>,
 }
 
 impl CosmosPlatform {
@@ -73,6 +77,7 @@ impl CosmosPlatform {
             nvme: BandwidthLink::new(timing::NVME_LINK_BW),
             firmware: cfg.firmware,
             pe_faults: None,
+            trace: None,
         }
     }
 
@@ -127,6 +132,66 @@ impl CosmosPlatform {
     /// PE hangs injected so far (zero when no plan is installed).
     pub fn pe_hangs(&self) -> u64 {
         self.pe_faults.as_ref().map_or(0, |f| f.hangs)
+    }
+
+    /// Enable device-wide event tracing: flash, DRAM and the platform
+    /// ring each hold up to `capacity` spans.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.flash.enable_tracing(capacity);
+        self.dram.enable_tracing(capacity);
+        self.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// Disable tracing everywhere and drop buffered spans.
+    pub fn disable_tracing(&mut self) {
+        self.flash.disable_tracing();
+        self.dram.disable_tracing();
+        self.trace = None;
+    }
+
+    /// Whether device-wide tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record one PE block job span (START → DONE).
+    pub fn trace_pe_job(&mut self, pe: u32, start: SimNs, dur: SimNs, cycles: u64) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent { kind: TraceKind::PeJob { pe, cycles }, start, dur });
+        }
+    }
+
+    /// Record one NVMe host-transfer span.
+    pub fn trace_nvme(&mut self, start: SimNs, dur: SimNs, bytes: u64) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent { kind: TraceKind::NvmeTransfer { bytes }, start, dur });
+        }
+    }
+
+    /// Record one batch of PE control-register accesses.
+    pub fn trace_reg_access(&mut self, pe: u32, start: SimNs, dur: SimNs, writes: u64, reads: u64) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent { kind: TraceKind::RegAccess { pe, writes, reads }, start, dur });
+        }
+    }
+
+    /// Drain every span recorded device-wide (flash + DRAM + platform),
+    /// merged and sorted by start time. Empty when tracing is disabled.
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        let mut evs = self.flash.take_trace();
+        evs.extend(self.dram.take_trace());
+        if let Some(t) = &mut self.trace {
+            evs.extend(t.drain());
+        }
+        evs.sort_by_key(|e| (e.start, e.dur));
+        evs
+    }
+
+    /// Total spans evicted from any of the three rings.
+    pub fn trace_dropped(&self) -> u64 {
+        self.flash.trace_dropped()
+            + self.dram.trace_dropped()
+            + self.trace.as_ref().map_or(0, TraceRing::dropped)
     }
 }
 

@@ -96,6 +96,11 @@ impl BandwidthLink {
         self.bytes_total
     }
 
+    /// Total time this link has been busy serving transfers.
+    pub fn busy_total(&self) -> SimNs {
+        self.server.busy_total()
+    }
+
     /// Link utilization over `[0, now]`.
     pub fn utilization(&self, now: SimNs) -> f64 {
         self.server.utilization(now)

@@ -1,0 +1,252 @@
+//! Ring-buffered DES event tracing.
+//!
+//! When enabled, the platform records one typed span ([`TraceEvent`])
+//! per interesting hardware activity — flash page reads/programs per
+//! channel/LUN, DRAM AXI transfers with their contention waits, PE block
+//! jobs, NVMe transfers and PE register accesses — all in *simulated*
+//! time. The ring ([`TraceRing`]) is bounded: when full, the oldest
+//! event is evicted and counted, so tracing a long run costs bounded
+//! memory and never fails.
+//!
+//! Like fault injection ([`crate::faults`]), tracing follows the
+//! zero-cost-when-disabled idiom: every record site is guarded by one
+//! `Option` branch, and with tracing off the timing behaviour is
+//! bit-for-bit the untraced model.
+//!
+//! [`chrome_trace_json`] exports a span list in the Chrome
+//! `trace_event` JSON format (the `chrome://tracing` / Perfetto "JSON
+//! array" flavor): each flash channel and each PE renders as its own
+//! "process" row, LUNs and clients as threads, so a whole SCAN can be
+//! opened in a trace viewer.
+
+use crate::dram::DramClient;
+use crate::SimNs;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// What a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// One NAND page read (tR + bus + controller DMA) on `channel`/`lun`.
+    FlashRead { channel: u16, lun: u16 },
+    /// One NAND page program on `channel`/`lun`.
+    FlashProgram { channel: u16, lun: u16 },
+    /// One transfer over the shared PS-DRAM port. `wait_ns` is the time
+    /// the transfer spent waiting for the port (contention + injected
+    /// stalls) before being served.
+    DramTransfer { client: DramClient, bytes: u64, wait_ns: SimNs },
+    /// One PE block job (START → DONE), `cycles` at the 100 MHz PL clock.
+    PeJob { pe: u32, cycles: u64 },
+    /// One NVMe host transfer.
+    NvmeTransfer { bytes: u64 },
+    /// A batch of PE control-register accesses (PS↔PL round trips).
+    RegAccess { pe: u32, writes: u64, reads: u64 },
+}
+
+/// One timed span in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub kind: TraceKind,
+    /// Span start, simulated nanoseconds.
+    pub start: SimNs,
+    /// Span duration, simulated nanoseconds.
+    pub dur: SimNs,
+}
+
+/// A bounded ring of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        Self { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Record one span, evicting the oldest if the ring is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Remove and return all buffered events (oldest first). The
+    /// dropped counter is preserved.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+fn client_name(c: DramClient) -> &'static str {
+    match c {
+        DramClient::FlashDma => "flash_dma",
+        DramClient::PeLoad => "pe_load",
+        DramClient::PeStore => "pe_store",
+        DramClient::Cpu => "cpu",
+        DramClient::Host => "host",
+    }
+}
+
+/// Stable process-ID layout of the Chrome export: one "process" per
+/// flash channel and per PE, one for the DRAM port, one for NVMe.
+fn pid_tid(kind: &TraceKind) -> (u64, u64) {
+    match kind {
+        TraceKind::FlashRead { channel, lun } | TraceKind::FlashProgram { channel, lun } => {
+            (100 + u64::from(*channel), 1 + u64::from(*lun))
+        }
+        TraceKind::DramTransfer { client, .. } => (200, 1 + *client as u64),
+        TraceKind::PeJob { pe, .. } => (300 + u64::from(*pe), 1),
+        TraceKind::RegAccess { pe, .. } => (300 + u64::from(*pe), 2),
+        TraceKind::NvmeTransfer { .. } => (400, 1),
+    }
+}
+
+fn name_cat_args(kind: &TraceKind) -> (&'static str, &'static str, String) {
+    match kind {
+        TraceKind::FlashRead { channel, lun } => {
+            ("flash_read", "flash", format!("\"channel\":{channel},\"lun\":{lun}"))
+        }
+        TraceKind::FlashProgram { channel, lun } => {
+            ("flash_program", "flash", format!("\"channel\":{channel},\"lun\":{lun}"))
+        }
+        TraceKind::DramTransfer { client, bytes, wait_ns } => (
+            "dram_transfer",
+            "dram",
+            format!(
+                "\"client\":\"{}\",\"bytes\":{bytes},\"wait_ns\":{wait_ns}",
+                client_name(*client)
+            ),
+        ),
+        TraceKind::PeJob { pe, cycles } => {
+            ("pe_job", "pe", format!("\"pe\":{pe},\"cycles\":{cycles}"))
+        }
+        TraceKind::NvmeTransfer { bytes } => {
+            ("nvme_transfer", "nvme", format!("\"bytes\":{bytes}"))
+        }
+        TraceKind::RegAccess { pe, writes, reads } => {
+            ("reg_access", "mmio", format!("\"pe\":{pe},\"writes\":{writes},\"reads\":{reads}"))
+        }
+    }
+}
+
+/// Render spans as Chrome `trace_event` JSON (complete events, `ph:"X"`,
+/// timestamps in microseconds of simulated time). Field order is stable;
+/// events render in the order given.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (name, cat, args) = name_cat_args(&ev.kind);
+        let (pid, tid) = pid_tid(&ev.kind);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+             \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{{args}}}}}",
+            ts = ev.start as f64 / 1000.0,
+            dur = ev.dur as f64 / 1000.0,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5u64 {
+            r.record(TraceEvent { kind: TraceKind::NvmeTransfer { bytes: i }, start: i, dur: 1 });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let evs = r.drain();
+        assert_eq!(evs[0].start, 3);
+        assert_eq!(evs[1].start, 4);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 3, "drain preserves the dropped count");
+    }
+
+    #[test]
+    fn chrome_json_field_order_is_stable() {
+        let evs = [
+            TraceEvent {
+                kind: TraceKind::FlashRead { channel: 2, lun: 1 },
+                start: 1500,
+                dur: 70_000,
+            },
+            TraceEvent {
+                kind: TraceKind::DramTransfer {
+                    client: DramClient::PeLoad,
+                    bytes: 4096,
+                    wait_ns: 250,
+                },
+                start: 72_000,
+                dur: 4_346,
+            },
+        ];
+        let json = chrome_trace_json(&evs);
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[\
+             {\"name\":\"flash_read\",\"cat\":\"flash\",\"ph\":\"X\",\
+             \"ts\":1.500,\"dur\":70.000,\"pid\":102,\"tid\":2,\
+             \"args\":{\"channel\":2,\"lun\":1}},\
+             {\"name\":\"dram_transfer\",\"cat\":\"dram\",\"ph\":\"X\",\
+             \"ts\":72.000,\"dur\":4.346,\"pid\":200,\"tid\":2,\
+             \"args\":{\"client\":\"pe_load\",\"bytes\":4096,\"wait_ns\":250}}\
+             ],\"displayTimeUnit\":\"ns\"}"
+        );
+    }
+
+    #[test]
+    fn every_kind_renders_with_its_own_process() {
+        let kinds = [
+            TraceKind::FlashRead { channel: 0, lun: 0 },
+            TraceKind::FlashProgram { channel: 7, lun: 3 },
+            TraceKind::DramTransfer { client: DramClient::Host, bytes: 1, wait_ns: 0 },
+            TraceKind::PeJob { pe: 4, cycles: 99 },
+            TraceKind::NvmeTransfer { bytes: 80 },
+            TraceKind::RegAccess { pe: 4, writes: 7, reads: 2 },
+        ];
+        let evs: Vec<TraceEvent> =
+            kinds.iter().map(|&kind| TraceEvent { kind, start: 0, dur: 1 }).collect();
+        let json = chrome_trace_json(&evs);
+        for frag in ["\"pid\":100,", "\"pid\":107,", "\"pid\":200,", "\"pid\":304,", "\"pid\":400,"]
+        {
+            assert!(json.contains(frag), "{frag} missing in {json}");
+        }
+        // PE job and its register accesses share a process, on separate
+        // threads.
+        assert!(json.contains("\"name\":\"pe_job\",\"cat\":\"pe\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":304,\"tid\":1"));
+        assert!(json.contains("\"name\":\"reg_access\",\"cat\":\"mmio\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":304,\"tid\":2"));
+    }
+}

@@ -39,8 +39,11 @@ pub use baseline::BaselinePe;
 pub use membus::{MemBus, VecMem};
 pub use oracle::{FilterRule, OracleStats};
 pub use pipeline::{estimate_block_cycles, BlockResult, PeSim};
-pub use regs::{Access, Mmio, RegDef, RegisterMap};
-pub use template::{pe_design, pe_resources, PeReport, PeVariant, SystemReport};
+pub use regs::{Access, Mmio, PerfCounters, RegDef, RegisterMap};
+pub use template::{
+    pe_design, pe_design_opts, pe_report, pe_report_opts, pe_resources, pe_resources_opts,
+    PeObservability, PeReport, PeVariant, SystemReport,
+};
 pub use tuple::{LayoutCodec, Tuple};
 
 /// Anything that behaves like a PE from the firmware's point of view:

@@ -93,9 +93,12 @@ impl PeSim {
     /// Build with explicit flexibility (false = fixed 32 KiB blocks, the
     /// behaviour of the hand-crafted units of \[1\]).
     pub fn with_flexibility(cfg: PeConfig, flexible: bool) -> Self {
-        let map = RegisterMap::for_config(&cfg);
+        let map = if flexible { RegisterMap::for_config(&cfg) } else { RegisterMap::for_stages(1) };
         let mut regs = RegState::new(cfg.stages);
         regs.has_agg = !cfg.aggregates.is_empty();
+        // Only the generated template carries the observability bank; the
+        // hand-crafted PEs of [1] expose no performance counters.
+        regs.has_perf = flexible;
         let ops = OpTable::from_config(&cfg);
         let processor = BlockProcessor::new(&cfg);
         Self { cfg, map, regs, ops, processor, flexible, total: TotalStats::default() }
@@ -177,9 +180,17 @@ impl PeSim {
         let mut res = BlockResult::default();
         let mut cycles: u64 = 0;
         let mut tmp = [0u8; 8];
+        // Hardware performance counters, accumulated cycle-accurately
+        // alongside the pipeline (folded into the cumulative `CNT_*`
+        // registers when the block completes).
+        let mut stage_drops = vec![0u64; stages];
+        let (mut in_stall, mut out_stall) = (0u64, 0u64);
+        let (mut load_beats, mut store_beats) = (0u64, 0u64);
+        let mut active = 0u64;
 
         loop {
             cycles += 1;
+            let mut did_work = false;
             let upstream_empty = |stage_q: &Vec<VecDeque<Vec<u8>>>, parsed: &VecDeque<Vec<u8>>| {
                 parsed.is_empty() && stage_q.iter().all(VecDeque::is_empty)
             };
@@ -200,20 +211,26 @@ impl PeSim {
                     capacity_left -= n as u64;
                     res.bytes_written += n as u32;
                     res.result_bytes += n as u32;
+                    store_beats += 1;
+                    did_work = true;
                 } else if capacity_left == 0 {
                     // Result buffer full: drop the remainder (an AXI
                     // master would raise an IRQ; firmware sizes buffers
                     // so this only happens under fault injection).
                     out_bytes.clear();
+                    did_work = true;
                 }
             }
 
             // --- Tuple Output Buffer: serialize one tuple per cycle.
-            if transformed.front().is_some()
-                && out_bytes.len() + out_tuple <= BYTE_BUF.max(out_tuple + 8)
-            {
-                let t = transformed.pop_front().unwrap();
-                out_bytes.extend(t.iter());
+            if transformed.front().is_some() {
+                if out_bytes.len() + out_tuple <= BYTE_BUF.max(out_tuple + 8) {
+                    let t = transformed.pop_front().unwrap();
+                    out_bytes.extend(t.iter());
+                    did_work = true;
+                } else {
+                    out_stall += 1;
+                }
             }
 
             // --- Data Transformation Unit: one tuple per cycle.
@@ -224,6 +241,7 @@ impl PeSim {
                     let mut out = Vec::with_capacity(out_tuple);
                     self.processor.transform_into(&tuple, &mut out);
                     transformed.push_back(out);
+                    did_work = true;
                 }
             }
 
@@ -241,6 +259,7 @@ impl PeSim {
                     left[s - 1].pop_front()
                 };
                 if let Some(tuple) = tuple {
+                    did_work = true;
                     let rule = rules[s];
                     if self.processor.tuple_passes(&tuple, std::slice::from_ref(&rule), &self.ops) {
                         if s == stages - 1 {
@@ -252,8 +271,10 @@ impl PeSim {
                             }
                         }
                         stage_q[s].push_back(tuple);
+                    } else {
+                        // Failing tuples are discarded (not enqueued).
+                        stage_drops[s] += 1;
                     }
-                    // Failing tuples are discarded (not enqueued).
                 }
             }
 
@@ -265,18 +286,28 @@ impl PeSim {
                 }
                 res.tuples_in += 1;
                 parsed.push_back(tuple);
+                did_work = true;
             }
 
             // --- Load Unit: one 64-bit beat per cycle after the initial
             // AXI latency.
-            if cycles > MEM_LATENCY_CYCLES && load_remaining > 0 && in_bytes.len() + 8 <= in_buf_cap
-            {
-                let n = load_remaining.min(8) as usize;
-                mem.read_bytes(load_addr, &mut tmp[..n]);
-                in_bytes.extend(tmp[..n].iter());
-                load_addr += n as u64;
-                load_remaining -= n as u64;
-                res.bytes_read += n as u32;
+            if cycles > MEM_LATENCY_CYCLES && load_remaining > 0 {
+                if in_bytes.len() + 8 <= in_buf_cap {
+                    let n = load_remaining.min(8) as usize;
+                    mem.read_bytes(load_addr, &mut tmp[..n]);
+                    in_bytes.extend(tmp[..n].iter());
+                    load_addr += n as u64;
+                    load_remaining -= n as u64;
+                    res.bytes_read += n as u32;
+                    load_beats += 1;
+                    did_work = true;
+                } else {
+                    in_stall += 1;
+                }
+            }
+
+            if did_work {
+                active += 1;
             }
 
             // --- Termination: everything drained.
@@ -308,6 +339,8 @@ impl PeSim {
                 res.bytes_written += pad as u32;
                 // One beat per cycle for the padding traffic.
                 cycles += pad.div_ceil(8);
+                store_beats += pad.div_ceil(8);
+                active += pad.div_ceil(8);
             }
         }
 
@@ -315,7 +348,33 @@ impl PeSim {
             self.regs.agg_result = acc.value();
         }
         res.cycles = cycles;
+
+        // Fold the per-block measurements into the cumulative counter
+        // registers. `active + idle == cycles` holds by construction.
+        let p = &mut self.regs.perf;
+        p.tuples_in += u64::from(res.tuples_in);
+        p.tuples_out += u64::from(res.tuples_out);
+        p.in_stall += in_stall;
+        p.out_stall += out_stall;
+        p.active += active;
+        p.idle += cycles - active;
+        p.load_beats += load_beats;
+        p.store_beats += store_beats;
+        for (acc, d) in p.stage_drops.iter_mut().zip(&stage_drops) {
+            *acc += *d;
+        }
         res
+    }
+
+    /// Snapshot of the cumulative hardware performance counters (the
+    /// `CNT_*` registers, without the register-interface truncation).
+    pub fn perf(&self) -> &crate::regs::PerfCounters {
+        &self.regs.perf
+    }
+
+    /// Clear the performance counters (the `CNT_CTRL` write-1 action).
+    pub fn reset_perf(&mut self) {
+        self.regs.perf.reset();
     }
 }
 

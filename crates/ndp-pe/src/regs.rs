@@ -36,6 +36,9 @@ pub struct RegisterMap {
     pub regs: Vec<RegDef>,
     /// Number of filtering stages the map was generated for.
     pub stages: u32,
+    /// Number of trailing performance-counter registers (0 for the
+    /// baseline maps of \[1\], which have no observability bank).
+    pub perf_regs: usize,
 }
 
 /// Fixed register offsets (stage-independent part of the map).
@@ -83,8 +86,39 @@ pub mod agg_offsets {
     pub const AGG_RESULT_HI: u32 = 0x10;
 }
 
-/// Value reported by the `VERSION` register of this template generation.
-pub const TEMPLATE_VERSION: u32 = 0x0002_0001;
+/// Performance-counter register offsets *relative to* `FILTER_COUNTER`.
+/// The bank sits after the aggregation window (which is reserved even on
+/// PEs without an Aggregation Unit), so its placement depends only on the
+/// stage count. All counters are read-only, cumulative across blocks,
+/// and cleared together by writing 1 to `CNT_CTRL`. Hardware counters
+/// are 32 bit and wrap; the simulator tracks 64 bit internally and
+/// exposes the low word, which is what a wrapping counter would show.
+pub mod perf_offsets {
+    /// Write 1 to clear every performance counter. Reads as 0.
+    pub const CNT_CTRL: u32 = 0x14;
+    /// Tuples parsed from the input stream since the last clear.
+    pub const CNT_TUPLES_IN: u32 = 0x18;
+    /// Tuples that passed the final filtering stage since the last clear.
+    pub const CNT_TUPLES_OUT: u32 = 0x1C;
+    /// Cycles the Load Unit had a beat ready but the input buffer was full.
+    pub const CNT_IN_STALL: u32 = 0x20;
+    /// Cycles a transformed tuple waited for room in the output buffer.
+    pub const CNT_OUT_STALL: u32 = 0x24;
+    /// Cycles in which at least one pipeline unit made progress.
+    pub const CNT_ACTIVE: u32 = 0x28;
+    /// Cycles in which no unit made progress (AXI latency, drain bubbles).
+    pub const CNT_IDLE: u32 = 0x2C;
+    /// 64-bit beats fetched by the Load Unit.
+    pub const CNT_LOAD_BEATS: u32 = 0x30;
+    /// 64-bit beats written by the Store Unit.
+    pub const CNT_STORE_BEATS: u32 = 0x34;
+    /// First per-stage drop counter; one 32-bit word per filtering stage.
+    pub const CNT_STAGE_DROP_BASE: u32 = 0x38;
+}
+
+/// Value reported by the `VERSION` register of this template generation
+/// (minor bump 1 → 2: the performance-counter bank joined the contract).
+pub const TEMPLATE_VERSION: u32 = 0x0002_0002;
 
 impl RegisterMap {
     /// Generate the register map for `cfg`.
@@ -117,7 +151,49 @@ impl RegisterMap {
                 doc: "Aggregation accumulator, high 32 bit".into(),
             });
         }
+        map.push_perf_bank();
         map
+    }
+
+    /// Append the performance-counter bank (generated PEs only; the
+    /// hand-crafted PEs of \[1\] keep the bare [`Self::for_stages`] map).
+    fn push_perf_bank(&mut self) {
+        use perf_offsets::*;
+        let fc = self.filter_counter_offset();
+        let before = self.regs.len();
+        self.regs.push(RegDef {
+            name: "CNT_CTRL".into(),
+            offset: fc + CNT_CTRL,
+            access: Access::ReadWrite,
+            doc: "Write 1 to clear all performance counters".into(),
+        });
+        let counters: [(&str, u32, &str); 8] = [
+            ("CNT_TUPLES_IN", CNT_TUPLES_IN, "Perf: tuples parsed since last clear"),
+            ("CNT_TUPLES_OUT", CNT_TUPLES_OUT, "Perf: tuples that passed all stages"),
+            ("CNT_IN_STALL", CNT_IN_STALL, "Perf: cycles the Load Unit stalled on a full buffer"),
+            ("CNT_OUT_STALL", CNT_OUT_STALL, "Perf: cycles a tuple waited on the output buffer"),
+            ("CNT_ACTIVE", CNT_ACTIVE, "Perf: cycles with pipeline progress"),
+            ("CNT_IDLE", CNT_IDLE, "Perf: cycles without pipeline progress"),
+            ("CNT_LOAD_BEATS", CNT_LOAD_BEATS, "Perf: 64-bit beats loaded from DRAM"),
+            ("CNT_STORE_BEATS", CNT_STORE_BEATS, "Perf: 64-bit beats stored to DRAM"),
+        ];
+        for (name, off, doc) in counters {
+            self.regs.push(RegDef {
+                name: name.into(),
+                offset: fc + off,
+                access: Access::ReadOnly,
+                doc: doc.into(),
+            });
+        }
+        for s in 0..self.stages {
+            self.regs.push(RegDef {
+                name: format!("CNT_STAGE_DROP_{s}"),
+                offset: fc + CNT_STAGE_DROP_BASE + 4 * s,
+                access: Access::ReadOnly,
+                doc: format!("Perf: tuples dropped by filtering stage {s}"),
+            });
+        }
+        self.perf_regs = self.regs.len() - before;
     }
 
     /// Generate a map for an explicit stage count.
@@ -230,7 +306,7 @@ impl RegisterMap {
             access: Access::ReadOnly,
             doc: "Tuples that passed the final filtering stage".into(),
         });
-        RegisterMap { regs, stages }
+        RegisterMap { regs, stages, perf_regs: 0 }
     }
 
     /// Number of registers (determines the generated RegFile size).
@@ -263,6 +339,47 @@ pub trait Mmio {
     fn mmio_write(&mut self, offset: u32, value: u32);
 }
 
+/// Cumulative hardware performance counters, cleared together through
+/// `CNT_CTRL`. Tracked as `u64` so the simulator never loses precision;
+/// the register interface exposes the low 32 bits (wrap semantics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    pub tuples_in: u64,
+    pub tuples_out: u64,
+    /// Cycles the Load Unit stalled on a full input buffer.
+    pub in_stall: u64,
+    /// Cycles a transformed tuple stalled on a full output buffer.
+    pub out_stall: u64,
+    /// Cycles with pipeline progress in at least one unit.
+    pub active: u64,
+    /// Cycles without any pipeline progress.
+    pub idle: u64,
+    /// 64-bit beats loaded from DRAM.
+    pub load_beats: u64,
+    /// 64-bit beats stored to DRAM.
+    pub store_beats: u64,
+    /// Tuples dropped per filtering stage.
+    pub stage_drops: Vec<u64>,
+}
+
+impl PerfCounters {
+    /// Zeroed counters for a PE with `stages` filtering stages.
+    pub fn new(stages: u32) -> Self {
+        Self { stage_drops: vec![0; stages as usize], ..Self::default() }
+    }
+
+    /// Clear every counter (the `CNT_CTRL` write-1 action).
+    pub fn reset(&mut self) {
+        let stages = self.stage_drops.len();
+        *self = Self { stage_drops: vec![0; stages], ..Self::default() };
+    }
+
+    /// Tuples dropped across all stages.
+    pub fn dropped_total(&self) -> u64 {
+        self.stage_drops.iter().sum()
+    }
+}
+
 /// Software-visible register state shared by the generated and the
 /// baseline PE models.
 #[derive(Debug, Clone)]
@@ -286,6 +403,11 @@ pub struct RegState {
     pub agg_result: u64,
     /// Whether the aggregation registers exist on this PE.
     pub has_agg: bool,
+    /// Whether the performance-counter bank exists on this PE (generated
+    /// template only; the hand-crafted PEs of \[1\] have no counters).
+    pub has_perf: bool,
+    /// Cumulative performance counters behind the `CNT_*` registers.
+    pub perf: PerfCounters,
     stages: u32,
 }
 
@@ -310,8 +432,35 @@ impl RegState {
             agg_op: 0,
             agg_result: 0,
             has_agg: false,
+            has_perf: false,
+            perf: PerfCounters::new(stages),
             stages,
         }
+    }
+
+    /// Dispatch a read of the performance-counter bank (`None` if the
+    /// offset does not belong to it).
+    fn perf_read(&self, rel: u32) -> Option<u32> {
+        use perf_offsets::*;
+        let v = match rel {
+            CNT_CTRL => 0,
+            CNT_TUPLES_IN => self.perf.tuples_in,
+            CNT_TUPLES_OUT => self.perf.tuples_out,
+            CNT_IN_STALL => self.perf.in_stall,
+            CNT_OUT_STALL => self.perf.out_stall,
+            CNT_ACTIVE => self.perf.active,
+            CNT_IDLE => self.perf.idle,
+            CNT_LOAD_BEATS => self.perf.load_beats,
+            CNT_STORE_BEATS => self.perf.store_beats,
+            _ => {
+                if rel < CNT_STAGE_DROP_BASE || !rel.is_multiple_of(4) {
+                    return None;
+                }
+                let s = ((rel - CNT_STAGE_DROP_BASE) / 4) as usize;
+                *self.perf.stage_drops.get(s)?
+            }
+        };
+        Some(v as u32)
     }
 
     fn stage_reg(&mut self, offset: u32) -> Option<(&mut (u32, u32, u64), u32)> {
@@ -359,6 +508,11 @@ impl RegState {
                             return (self.agg_result >> 32) as u32
                         }
                         _ => {}
+                    }
+                }
+                if self.has_perf {
+                    if let Some(v) = offset.checked_sub(fc).and_then(|rel| self.perf_read(rel)) {
+                        return v;
                     }
                 }
                 if let Some((f, field)) = self.stage_reg(offset) {
@@ -413,6 +567,13 @@ impl RegState {
                         }
                         _ => {}
                     }
+                }
+                if self.has_perf
+                    && offset.checked_sub(fc) == Some(perf_offsets::CNT_CTRL)
+                    && value & 1 != 0
+                {
+                    self.perf.reset();
+                    return;
                 }
                 if let Some((f, field)) = self.stage_reg(offset) {
                     match field {
@@ -529,5 +690,105 @@ mod tests {
     fn reset_filters_are_nop() {
         let s = RegState::new(3);
         assert!(s.filters.iter().all(|&(_, op, _)| op == 0));
+    }
+
+    fn cfg(src: &str, name: &str) -> PeConfig {
+        ndp_ir::elaborate(&ndp_spec::parse(src).unwrap(), name).unwrap()
+    }
+
+    const TWO_STAGE: &str = "
+        /* @autogen define parser P with input = T, output = T, stages = 2 */
+        typedef struct { uint32_t v; uint32_t w; } T;
+    ";
+
+    #[test]
+    fn generated_map_appends_perf_bank_after_agg_window() {
+        let m = RegisterMap::for_config(&cfg(TWO_STAGE, "P"));
+        // 12 fixed + 2 * 4 stage regs + FILTER_COUNTER + (CNT_CTRL + 8
+        // counters + 2 stage-drop counters).
+        assert_eq!(m.perf_regs, 11);
+        assert_eq!(m.len(), 12 + 8 + 1 + 11);
+        let fc = m.filter_counter_offset();
+        assert_eq!(m.by_name("CNT_CTRL").unwrap().offset, fc + perf_offsets::CNT_CTRL);
+        assert_eq!(m.by_name("CNT_ACTIVE").unwrap().offset, fc + perf_offsets::CNT_ACTIVE);
+        assert_eq!(
+            m.by_name("CNT_STAGE_DROP_1").unwrap().offset,
+            fc + perf_offsets::CNT_STAGE_DROP_BASE + 4
+        );
+        assert!(m.by_name("CNT_CTRL").unwrap().access == Access::ReadWrite);
+        assert!(m.by_name("CNT_TUPLES_IN").unwrap().access == Access::ReadOnly);
+    }
+
+    #[test]
+    fn baseline_map_has_no_perf_bank() {
+        let m = RegisterMap::for_stages(1);
+        assert_eq!(m.perf_regs, 0);
+        assert!(m.by_name("CNT_CTRL").is_none());
+    }
+
+    #[test]
+    fn generated_map_offsets_are_unique_and_word_aligned() {
+        // Full map including aggregation *and* perf registers.
+        let src = "
+            /* @autogen define parser A with input = T, output = T, stages = 3,
+               aggregate = { sum } */
+            typedef struct { uint64_t k; uint32_t v; } T;
+        ";
+        let m = RegisterMap::for_config(&cfg(src, "A"));
+        let mut seen = std::collections::HashSet::new();
+        for r in &m.regs {
+            assert_eq!(r.offset % 4, 0, "{} not word aligned", r.name);
+            assert!(seen.insert(r.offset), "duplicate offset {:#x} ({})", r.offset, r.name);
+        }
+    }
+
+    fn perf_state() -> RegState {
+        let mut s = RegState::new(2);
+        s.has_perf = true;
+        s.perf.tuples_in = 10;
+        s.perf.tuples_out = 7;
+        s.perf.stage_drops = vec![2, 1];
+        s.perf.active = 40;
+        s.perf.idle = 8;
+        s
+    }
+
+    #[test]
+    fn perf_counters_read_back_and_clear_via_cnt_ctrl() {
+        let mut s = perf_state();
+        let fc = offsets::STAGE_BASE + 2 * offsets::STAGE_STRIDE;
+        assert_eq!(s.read(fc + perf_offsets::CNT_TUPLES_IN), 10);
+        assert_eq!(s.read(fc + perf_offsets::CNT_TUPLES_OUT), 7);
+        assert_eq!(s.read(fc + perf_offsets::CNT_STAGE_DROP_BASE), 2);
+        assert_eq!(s.read(fc + perf_offsets::CNT_STAGE_DROP_BASE + 4), 1);
+        assert_eq!(s.read(fc + perf_offsets::CNT_ACTIVE), 40);
+        // Writes to the read-only counters are discarded.
+        s.write(fc + perf_offsets::CNT_TUPLES_IN, 99);
+        assert_eq!(s.read(fc + perf_offsets::CNT_TUPLES_IN), 10);
+        // Writing 0 to CNT_CTRL is a no-op; writing 1 clears everything.
+        s.write(fc + perf_offsets::CNT_CTRL, 0);
+        assert_eq!(s.read(fc + perf_offsets::CNT_TUPLES_IN), 10);
+        s.write(fc + perf_offsets::CNT_CTRL, 1);
+        assert_eq!(s.read(fc + perf_offsets::CNT_TUPLES_IN), 0);
+        assert_eq!(s.read(fc + perf_offsets::CNT_STAGE_DROP_BASE), 0);
+        assert_eq!(s.perf.stage_drops.len(), 2, "stage layout survives the clear");
+    }
+
+    #[test]
+    fn perf_counters_expose_low_32_bits() {
+        let mut s = perf_state();
+        s.perf.active = (1u64 << 32) + 5;
+        let fc = offsets::STAGE_BASE + 2 * offsets::STAGE_STRIDE;
+        assert_eq!(s.read(fc + perf_offsets::CNT_ACTIVE), 5, "wraps like a 32-bit counter");
+    }
+
+    #[test]
+    fn perf_bank_is_inert_without_has_perf() {
+        let mut s = perf_state();
+        s.has_perf = false;
+        let fc = offsets::STAGE_BASE + 2 * offsets::STAGE_STRIDE;
+        assert_eq!(s.read(fc + perf_offsets::CNT_TUPLES_IN), 0);
+        s.write(fc + perf_offsets::CNT_CTRL, 1);
+        assert_eq!(s.perf.tuples_in, 10, "no perf bank, no clear");
     }
 }

@@ -13,7 +13,7 @@
 
 use ndp_ir::AggOp;
 use ndp_pe::oracle::FilterRule;
-use ndp_pe::regs::{agg_offsets, offsets};
+use ndp_pe::regs::{agg_offsets, offsets, perf_offsets};
 use ndp_pe::{BlockResult, MemBus, PeDevice};
 
 /// Which firmware register protocol to speak.
@@ -64,12 +64,32 @@ pub struct JobResult {
     pub io: IoStats,
 }
 
+/// Snapshot of the PE's hardware performance counters (the Rust twin of
+/// the header's `<pe>_perf_counters_t` + `<pe>_read_perf_counters`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfReadout {
+    pub tuples_in: u32,
+    pub tuples_out: u32,
+    pub in_stall: u32,
+    pub out_stall: u32,
+    pub active: u32,
+    pub idle: u32,
+    pub load_beats: u32,
+    pub store_beats: u32,
+    /// Tuples dropped per filtering stage, index = stage.
+    pub stage_drops: Vec<u32>,
+}
+
 /// Driver for one PE instance.
 pub struct PeDriver<P: PeDevice> {
     pe: P,
     profile: DriverProfile,
     /// Lifetime register-access counters.
     pub total_io: IoStats,
+    /// Register accesses spent on perf-counter readback/reset, tracked
+    /// separately so observability never changes job-path configuration
+    /// costs (the timing model's CFG_WRITES/READS constants).
+    pub perf_io: IoStats,
     /// Rules written during the last configuration (dirty-tracking:
     /// reconfiguring identical filter rules is skipped, like firmware
     /// that caches its last configuration).
@@ -85,6 +105,7 @@ impl<P: PeDevice> PeDriver<P> {
             pe,
             profile,
             total_io: IoStats::default(),
+            perf_io: IoStats::default(),
             last_rules: None,
             last_job_aggregated: false,
         }
@@ -204,6 +225,40 @@ impl<P: PeDevice> PeDriver<P> {
     /// Forget the cached filter configuration (e.g. after device reset).
     pub fn invalidate_config_cache(&mut self) {
         self.last_rules = None;
+    }
+
+    /// Read the hardware performance counters (the header's
+    /// `read_perf_counters`). Register accesses are charged to
+    /// [`perf_io`](Self::perf_io), not the job path.
+    pub fn read_perf_counters(&mut self) -> PerfReadout {
+        let fc = offsets::STAGE_BASE + self.pe.stages() * offsets::STAGE_STRIDE;
+        let mut io = IoStats::default();
+        let rd = |drv: &mut Self, io: &mut IoStats, rel: u32| drv.read(io, fc + rel);
+        let out = PerfReadout {
+            tuples_in: rd(self, &mut io, perf_offsets::CNT_TUPLES_IN),
+            tuples_out: rd(self, &mut io, perf_offsets::CNT_TUPLES_OUT),
+            in_stall: rd(self, &mut io, perf_offsets::CNT_IN_STALL),
+            out_stall: rd(self, &mut io, perf_offsets::CNT_OUT_STALL),
+            active: rd(self, &mut io, perf_offsets::CNT_ACTIVE),
+            idle: rd(self, &mut io, perf_offsets::CNT_IDLE),
+            load_beats: rd(self, &mut io, perf_offsets::CNT_LOAD_BEATS),
+            store_beats: rd(self, &mut io, perf_offsets::CNT_STORE_BEATS),
+            stage_drops: (0..self.pe.stages())
+                .map(|s| self.read(&mut io, fc + perf_offsets::CNT_STAGE_DROP_BASE + 4 * s))
+                .collect(),
+        };
+        self.perf_io.reg_reads += io.reg_reads;
+        self.perf_io.reg_writes += io.reg_writes;
+        out
+    }
+
+    /// Clear the hardware performance counters (the header's
+    /// `reset_perf_counters`: write-1-to-clear on CNT_CTRL).
+    pub fn reset_perf_counters(&mut self) {
+        let fc = offsets::STAGE_BASE + self.pe.stages() * offsets::STAGE_STRIDE;
+        let mut io = IoStats::default();
+        self.write(&mut io, fc + perf_offsets::CNT_CTRL, 1);
+        self.perf_io.reg_writes += io.reg_writes;
     }
 }
 
@@ -390,6 +445,33 @@ mod tests {
             aggregate: None,
         };
         let _ = drv.filter_sync(&mut mem, &job);
+    }
+
+    #[test]
+    fn perf_readback_matches_job_and_leaves_job_io_untouched() {
+        let (mut drv, mut mem, ge) = setup();
+        let job = FilterJob {
+            src: 0,
+            len: 500 * 20,
+            dst: 0x40000,
+            capacity: 1 << 18,
+            rules: vec![FilterRule { lane: 2, op_code: ge, value: 50 }],
+            aggregate: None,
+        };
+        let res = drv.filter_sync(&mut mem, &job);
+        let job_io = drv.total_io;
+        let perf = drv.read_perf_counters();
+        assert_eq!(perf.tuples_in, res.block.tuples_in);
+        assert_eq!(perf.tuples_out, res.tuples_out);
+        assert_eq!(perf.stage_drops, vec![res.block.tuples_in - res.tuples_out]);
+        assert_eq!(perf.active + perf.idle, res.block.cycles as u32);
+        // Observability cost is accounted separately from the job path.
+        assert_eq!(drv.total_io, job_io);
+        assert_eq!(drv.perf_io.reg_reads, 9);
+        drv.reset_perf_counters();
+        assert_eq!(drv.perf_io.reg_writes, 1);
+        let cleared = drv.read_perf_counters();
+        assert_eq!(cleared, PerfReadout { stage_drops: vec![0], ..PerfReadout::default() });
     }
 
     #[test]

@@ -9,16 +9,18 @@
 use crate::error::{NkvError, NkvResult};
 use crate::exec::{self, ExecMode, HealthCounters, ResilienceConfig, SimReport, TableExec};
 use crate::lsm::{LsmConfig, LsmTree};
+use crate::metrics::{fmt_ns, DeviceStats, MetricsRegistry, OpKind};
 use crate::placement::PageAllocator;
 use crate::sst::SstBuilder;
 use cosmos_sim::faults::{DramFaultStats, FlashFaultStats};
-use cosmos_sim::{CosmosConfig, CosmosPlatform, Server, SimNs};
+use cosmos_sim::{CosmosConfig, CosmosPlatform, Server, SimNs, TraceEvent};
 use ndp_ir::PeConfig;
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
 use ndp_pe::template::PeVariant;
 use ndp_pe::{BaselinePe, PeDevice, PeSim};
 use ndp_swgen::{DriverProfile, PeDriver};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Per-table configuration.
 #[derive(Clone)]
@@ -81,6 +83,7 @@ pub struct ScanSummary {
 /// platform plus the resilience layer's reaction counters, aggregated
 /// over every table (see [`HealthCounters`] for the per-table view).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use = "a health snapshot is only useful when inspected"]
 pub struct HealthReport {
     /// Flash-level fault counters (transient/correctable/grown-bad/torn).
     pub flash: FlashFaultStats,
@@ -104,6 +107,35 @@ pub struct HealthReport {
     pub pages_repaired: u64,
 }
 
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "health: injected {} transient flash, {} ecc-corrected, {} grown-bad, \
+             {} torn, {} dram stalls (+{}), {} pe hangs",
+            self.flash.transient_failures,
+            self.flash.correctable_hits,
+            self.flash.grown_bad_pages,
+            self.flash.torn_writes,
+            self.dram.stalls,
+            fmt_ns(self.dram.stall_ns_total),
+            self.pe_hangs_injected,
+        )?;
+        write!(
+            f,
+            "        reacted {} retries (+{} backoff), {} reads failed, \
+             {} watchdog trips, {} sw-fallback blocks, {} PEs retired, {} pages repaired",
+            self.read_retries,
+            fmt_ns(self.retry_backoff_ns),
+            self.reads_failed,
+            self.watchdog_trips,
+            self.sw_fallback_blocks,
+            self.pes_failed,
+            self.pages_repaired,
+        )
+    }
+}
+
 /// The device-level database.
 pub struct NkvDb {
     platform: CosmosPlatform,
@@ -114,6 +146,12 @@ pub struct NkvDb {
     manifest_epoch: u64,
     /// Pages relocated by read-repair since creation/recovery.
     pages_repaired: u64,
+    /// Op-level metrics; `None` (the default) costs one branch per
+    /// operation and changes nothing else.
+    metrics: Option<MetricsRegistry>,
+    /// Spans drained from the platform after each observed operation,
+    /// kept for [`NkvDb::take_trace`] (empty while tracing is off).
+    trace_log: Vec<TraceEvent>,
 }
 
 impl NkvDb {
@@ -128,6 +166,8 @@ impl NkvDb {
             clock: 0,
             manifest_epoch: 0,
             pages_repaired: 0,
+            metrics: None,
+            trace_log: Vec::new(),
         }
     }
 
@@ -146,8 +186,62 @@ impl NkvDb {
         &mut self.platform
     }
 
+    /// Turn on op-level metrics (latency histograms + throughput
+    /// counters). Breakdowns stay zero unless tracing is also enabled.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.get_or_insert_with(MetricsRegistry::new);
+    }
+
+    /// Turn on the full observability stack: op metrics plus device-wide
+    /// event tracing (each ring holds up to `trace_capacity` spans).
+    pub fn enable_observability(&mut self, trace_capacity: usize) {
+        self.enable_metrics();
+        self.platform.enable_tracing(trace_capacity);
+    }
+
+    /// Whether op-level metrics are being collected.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Device-wide observability snapshot: per-op metrics (empty while
+    /// metrics are disabled) plus the [`HealthReport`].
+    #[must_use = "a device-stats snapshot is only useful when inspected"]
+    pub fn device_stats(&self) -> DeviceStats {
+        DeviceStats {
+            metrics: self.metrics.clone().unwrap_or_default(),
+            health: self.health_report(),
+        }
+    }
+
+    /// Take every trace span buffered so far (per-op drained spans plus
+    /// anything still in the platform rings), sorted by start time.
+    /// Empty while tracing is disabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut evs = std::mem::take(&mut self.trace_log);
+        evs.extend(self.platform.drain_trace());
+        evs.sort_by_key(|e| (e.start, e.dur));
+        evs
+    }
+
+    /// Fold one finished operation into the metrics registry and move
+    /// its trace spans into the session log. One branch when both
+    /// metrics and tracing are off.
+    fn observe(&mut self, kind: OpKind, latency_ns: SimNs, bytes: u64) {
+        if self.metrics.is_none() && !self.platform.tracing_enabled() {
+            return;
+        }
+        let spans = self.platform.drain_trace();
+        if let Some(m) = &mut self.metrics {
+            m.record(kind, latency_ns, bytes);
+            m.attribute(kind, &spans);
+        }
+        self.trace_log.extend(spans);
+    }
+
     /// Device-wide health summary: injected faults plus the resilience
     /// layer's reactions, aggregated over all tables.
+    #[must_use = "a health snapshot is only useful when inspected"]
     pub fn health_report(&self) -> HealthReport {
         let mut r = HealthReport {
             flash: self.platform.flash.fault_stats(),
@@ -194,7 +288,9 @@ impl NkvDb {
         if degrading.is_empty() {
             return Ok(0);
         }
+        let t0 = self.clock;
         let mut moved = 0u64;
+        let mut repaired_bytes = 0u64;
         let mut stale_indexes: Vec<(String, u64)> = Vec::new();
         for addr in degrading {
             let referenced = self.tables.values().any(|t| t.lsm.references_page(addr));
@@ -219,6 +315,7 @@ impl NkvDb {
             }
             self.platform.flash.mark_repaired(addr);
             self.pages_repaired += 1;
+            repaired_bytes += data.len() as u64;
             moved += 1;
         }
         // Data pages moved: the on-flash index blocks listing them are
@@ -235,6 +332,7 @@ impl NkvDb {
             }
             self.persist()?;
         }
+        self.observe(OpKind::ReadRepair, self.clock.saturating_sub(t0), repaired_bytes);
         Ok(moved)
     }
 
@@ -302,8 +400,13 @@ impl NkvDb {
             });
         }
         let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+        let t0 = self.clock;
         t.lsm.put(key, record);
-        self.maintain(table)
+        self.maintain(table)?;
+        // The memtable insert itself is free in simulated time; a PUT's
+        // latency is whatever flush/compaction it triggered.
+        self.observe(OpKind::Put, self.clock - t0, expected as u64);
+        Ok(())
     }
 
     /// Delete a key (tombstone).
@@ -317,14 +420,24 @@ impl NkvDb {
     fn maintain(&mut self, table: &str) -> NkvResult<()> {
         let now = self.clock;
         let t = self.tables.get_mut(table).expect("caller verified the table");
-        if t.lsm.should_flush() {
-            let done = t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?;
+        let flushed = if t.lsm.should_flush() {
+            Some(t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?)
+        } else {
+            None
+        };
+        if let Some(done) = flushed {
             self.clock = self.clock.max(done);
+            self.observe(OpKind::Flush, done.saturating_sub(now), 0);
         }
         let mut level = 0;
-        while t.lsm.should_compact(level) {
+        loop {
+            let t = self.tables.get_mut(table).expect("caller verified the table");
+            if !t.lsm.should_compact(level) {
+                break;
+            }
             let done = t.lsm.compact(&mut self.platform.flash, &mut self.alloc, level, now)?;
             self.clock = self.clock.max(done);
+            self.observe(OpKind::Compaction, done.saturating_sub(now), 0);
             level += 1;
         }
         Ok(())
@@ -336,6 +449,7 @@ impl NkvDb {
         let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
         let done = t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?;
         self.clock = self.clock.max(done);
+        self.observe(OpKind::Flush, done.saturating_sub(now), 0);
         Ok(())
     }
 
@@ -408,6 +522,7 @@ impl NkvDb {
         let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
         let (rec, report) = exec::get(&mut self.platform, &t.lsm, &mut t.exec, key, mode, now)?;
         self.clock += report.sim_ns;
+        self.observe(OpKind::Get, report.sim_ns, rec.as_ref().map_or(0, |r| r.len() as u64));
         Ok((rec, report))
     }
 
@@ -436,6 +551,7 @@ impl NkvDb {
             exec::scan(&mut self.platform, &t.lsm, &mut t.exec, rules, mode, now)?;
         self.clock += report.sim_ns;
         let count = records.len() as u64 / t.exec.processor.out_tuple_bytes().max(1) as u64;
+        self.observe(OpKind::Scan, report.sim_ns, report.result_bytes);
         Ok(ScanSummary { records, count, report })
     }
 
@@ -470,6 +586,7 @@ impl NkvDb {
             now,
         )?;
         self.clock += out.2.sim_ns;
+        self.observe(OpKind::Scan, out.2.sim_ns, out.2.result_bytes);
         Ok(out)
     }
 
@@ -538,6 +655,8 @@ impl NkvDb {
             clock: 0,
             manifest_epoch: 0,
             pages_repaired: 0,
+            metrics: None,
+            trace_log: Vec::new(),
         };
         let (manifest, t_manifest) = crate::recovery::read_manifest(&mut db.platform.flash, 0)?;
         db.clock = t_manifest;
@@ -767,6 +886,88 @@ mod tests {
         let p = PaperGen::paper_at(&gen_cfg, 999);
         let (got, _) = db.get("papers", p.id, ExecMode::Software).unwrap();
         assert_eq!(got, Some(encode(&p)));
+    }
+
+    #[test]
+    fn observability_records_metrics_breakdowns_and_traces() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        db.enable_observability(1 << 16);
+        let cfg = PubGraphConfig { papers: 2000, refs: 2000, seed: 6 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        let p = PaperGen::paper_at(&cfg, 10);
+        db.get("papers", p.id, ExecMode::Hardware).unwrap();
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2010 }];
+        db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+
+        let stats = db.device_stats();
+        let get = stats.metrics.op(crate::metrics::OpKind::Get);
+        let scan = stats.metrics.op(crate::metrics::OpKind::Scan);
+        assert_eq!(get.ops, 1);
+        assert_eq!(get.bytes, 80);
+        assert!(get.hist.max() > 0);
+        assert_eq!(scan.ops, 1);
+        assert!(scan.breakdown.flash_ns > 0, "SCAN reads flash");
+        assert!(scan.breakdown.pe_ns > 0, "HW SCAN runs PE jobs");
+        // Fig. 7(a)'s explanation, measured: a GET spends more time on
+        // PE config registers than moving its 80-byte result.
+        assert!(
+            get.breakdown.cfg_ns >= get.breakdown.nvme_ns,
+            "cfg {} < data {}",
+            get.breakdown.cfg_ns,
+            get.breakdown.nvme_ns
+        );
+
+        let trace = db.take_trace();
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0].start <= w[1].start), "sorted by start");
+        assert!(db.take_trace().is_empty(), "take_trace drains");
+
+        let text = format!("{}", db.device_stats());
+        assert!(text.contains("GET"), "{text}");
+        assert!(text.contains("SCAN"), "{text}");
+        assert!(text.contains("health:"), "{text}");
+    }
+
+    #[test]
+    fn observability_is_timing_invisible() {
+        // The zero-cost idiom, asserted end to end: identical ops on an
+        // observed and an unobserved database take identical simulated
+        // time and return identical results.
+        let cfg = PubGraphConfig { papers: 1500, refs: 1500, seed: 12 };
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2005 }];
+        let run = |observe: bool| {
+            let mut db = paper_db(2, PeVariant::Generated);
+            if observe {
+                db.enable_observability(4096);
+            }
+            db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+            let s = db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+            (s.records, s.report.sim_ns, db.clock())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn puts_record_flush_and_compaction_metrics() {
+        let m = parse(PAPER_REF_SPEC).unwrap();
+        let pe = elaborate(&m, PAPER_PE).unwrap();
+        let mut db = NkvDb::default_db();
+        db.enable_metrics();
+        let mut cfg = TableConfig::new(pe);
+        cfg.lsm.memtable_bytes = 8 * 1024;
+        cfg.lsm.c1_sst_limit = 2;
+        db.create_table("papers", cfg).unwrap();
+        for p in PaperGen::new(PubGraphConfig { papers: 1500, refs: 1500, seed: 4 }) {
+            db.put("papers", encode(&p)).unwrap();
+        }
+        let stats = db.device_stats();
+        use crate::metrics::OpKind;
+        assert_eq!(stats.metrics.op(OpKind::Put).ops, 1500);
+        assert_eq!(stats.metrics.op(OpKind::Put).bytes, 1500 * 80);
+        assert!(stats.metrics.op(OpKind::Flush).ops > 0, "tiny memtable must flush");
+        assert!(stats.metrics.op(OpKind::Compaction).ops > 0, "c1 limit must compact");
+        // Breakdowns stay zero without tracing.
+        assert_eq!(stats.metrics.op(OpKind::Flush).breakdown, crate::metrics::Breakdown::default());
     }
 
     #[test]

@@ -444,9 +444,11 @@ pub fn scan(
                             // ARM configures the PE (register writes), then the
                             // PE streams the block.
                             let cfg_ns = platform.mmio_cost_ns(w, r);
-                            let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                            let (_, pe_done) =
+                            let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                            platform.trace_reg_access(d as u32, cfg_start, cfg_ns, w, r);
+                            let (pe_start, pe_done) =
                                 exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                            platform.trace_pe_job(d as u32, pe_start, pe_done - pe_start, cycles);
                             // PE load + store traffic on the shared DRAM port.
                             let _ = platform.dram.timed_transfer(
                                 DramClient::PeLoad,
@@ -543,7 +545,8 @@ pub fn scan(
     report.tuples_out = keep.iter().filter(|&&k| k).count() as u64;
 
     // --- Host transfer of the result set over NVMe.
-    let (_, host_done) = platform.nvme.transfer(op_end, reconciled.len() as u64);
+    let (nv_start, host_done) = platform.nvme.transfer(op_end, reconciled.len() as u64);
+    platform.trace_nvme(nv_start, host_done - nv_start, reconciled.len() as u64);
     op_end = host_done;
 
     report.result_bytes = reconciled.len() as u64;
@@ -676,9 +679,11 @@ pub fn scan_aggregate(
                             let cycles =
                                 estimate_block_cycles(data.len() as u64, tin, 0, exec.stages);
                             let cfg_ns = platform.mmio_cost_ns(w, r);
-                            let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                            let (_, pe_done) =
+                            let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                            platform.trace_reg_access(d as u32, cfg_start, cfg_ns, w, r);
+                            let (pe_start, pe_done) =
                                 exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                            platform.trace_pe_job(d as u32, pe_start, pe_done - pe_start, cycles);
                             let _ = platform.dram.timed_transfer(
                                 DramClient::PeLoad,
                                 data.len() as u64,
@@ -706,7 +711,8 @@ pub fn scan_aggregate(
     }
 
     // Only the accumulator travels to the host.
-    let (_, host_done) = platform.nvme.transfer(op_end, 8);
+    let (nv_start, host_done) = platform.nvme.transfer(op_end, 8);
+    platform.trace_nvme(nv_start, host_done - nv_start, 8);
     report.result_bytes = 8;
     report.sim_ns = host_done - now;
     Ok((acc.value(), acc.any(), report))
@@ -834,9 +840,11 @@ pub fn get(
                     report.reg_writes += w;
                     report.reg_reads += r;
                     let cfg_ns = platform.mmio_cost_ns(w, r);
-                    let (_, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                    let (_, pe_done) =
+                    let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+                    platform.trace_reg_access(0, cfg_start, cfg_ns, w, r);
+                    let (pe_start, pe_done) =
                         exec.pe_servers[0].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+                    platform.trace_pe_job(0, pe_start, pe_done - pe_start, cycles);
                     let done =
                         platform.dram.timed_transfer(DramClient::PeStore, bytes_written, pe_done);
                     let rec = if out.is_empty() {
@@ -859,7 +867,8 @@ pub fn get(
         };
         t = done;
         if let Some(rec) = found {
-            let (_, host) = platform.nvme.transfer(t, rec.len() as u64);
+            let (nv_start, host) = platform.nvme.transfer(t, rec.len() as u64);
+            platform.trace_nvme(nv_start, host - nv_start, rec.len() as u64);
             report.sim_ns = host - now;
             return Ok((Some(rec), report));
         }

@@ -24,6 +24,9 @@
 //! * [`exec`] — the hybrid NDP executor: block-parallel SCAN/GET over
 //!   flash channels with software (ARM) or hardware (PE) filtering,
 //!   returning both results and simulated device time;
+//! * [`metrics`] — op-level observability: log-bucket latency
+//!   histograms, throughput counters and per-op time breakdowns
+//!   attributed from the platform's trace spans;
 //! * [`db`] — the [`db::NkvDb`] facade with PUT/GET/DELETE/SCAN/
 //!   RANGE_SCAN over multiple tables;
 //! * [`recovery`] — manifest + index-block based state reconstruction
@@ -39,6 +42,7 @@ pub mod error;
 pub mod exec;
 pub mod lsm;
 pub mod memtable;
+pub mod metrics;
 pub mod placement;
 pub mod recovery;
 pub mod sst;
@@ -47,6 +51,7 @@ pub mod util;
 pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
 pub use error::{NkvError, NkvResult};
 pub use exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport};
+pub use metrics::{Breakdown, DeviceStats, LatencyHistogram, MetricsRegistry, OpKind, OpMetrics};
 
 /// Build an aggregation accumulator for a table's processor (thin
 /// re-export so `exec` and `db` share one constructor).

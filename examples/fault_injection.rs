@@ -54,17 +54,7 @@ fn main() {
         degraded.count,
         degraded.report.sim_ns as f64 / reference.report.sim_ns as f64
     );
-    let h = db.health_report();
-    println!(
-        "health: {} retries (+{} us backoff), {} watchdog trips, {} blocks on the ARM \
-         oracle, {}/{} PEs retired",
-        h.read_retries,
-        h.retry_backoff_ns / 1_000,
-        h.watchdog_trips,
-        h.sw_fallback_blocks,
-        h.pes_failed,
-        1
-    );
+    println!("{}", db.health_report());
 
     // --- Read-repair: a couple more scans accumulate ECC-correction
     // counts, then degrading pages are relocated to fresh ones.

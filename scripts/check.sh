@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints (deny warnings), and the test suite.
+# Full local gate: formatting, lints (deny warnings), the test suite,
+# the observability example (+ trace-JSON validity), and a fast-mode
+# repro run diffed against the committed reference output.
 # Run from anywhere; operates on the repo this script lives in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,5 +14,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> profiling example + trace JSON validity"
+cargo run --release --example profiling -- target/profile_trace.json > /dev/null
+if command -v python3 > /dev/null; then
+    python3 -m json.tool target/profile_trace.json > /dev/null
+else
+    # Poor man's sanity check when python3 is absent.
+    head -c 16 target/profile_trace.json | grep -q '{"traceEvents":\[' \
+        && tail -c 32 target/profile_trace.json | grep -q '"displayTimeUnit":"ns"}'
+fi
+
+echo "==> repro output is reproducible (observability stays zero-cost)"
+cargo build --release -p bench -q
+./target/release/repro all --scale 0.0625 > target/repro_output.txt
+diff -u repro_output.txt target/repro_output.txt
 
 echo "All checks passed."

@@ -74,6 +74,7 @@ fn chaos_round(seed: u64) -> nkv::HealthReport {
     };
     let mut db = NkvDb::default_db();
     db.create_table("papers", table_cfg()).unwrap();
+    db.enable_observability(1 << 14);
     db.platform_mut().install_faults(&plan);
 
     let gen_cfg = PubGraphConfig { papers: 200, refs: 0, seed: 1 };
@@ -133,6 +134,12 @@ fn chaos_round(seed: u64) -> nkv::HealthReport {
     }
 
     let health = db.health_report();
+    // Observability: the operator-facing `DeviceStats` snapshot carries
+    // the same health counters the campaign accumulated, and the ops
+    // that provoked them are accounted in the metrics registry.
+    let stats = db.device_stats();
+    assert_eq!(stats.health, health, "seed {seed}: DeviceStats diverges from health_report");
+    assert!(stats.metrics.total_ops() > 0, "seed {seed}: no ops recorded");
     // End of campaign: with injection off (no persistent damage was
     // planned) the store must agree with the model on every key.
     db.platform_mut().clear_faults();
@@ -173,6 +180,76 @@ fn thirty_two_seeded_fault_campaigns_preserve_the_model() {
     assert!(total.read_retries > 0, "resilience layer never retried");
     assert!(total.watchdog_trips > 0, "watchdog never tripped");
     assert!(total.sw_fallback_blocks > 0, "HW never degraded to SW");
+}
+
+/// Every fault class a plan injects is visible in the single
+/// [`DeviceStats`](nkv::DeviceStats) snapshot an operator would pull:
+/// the health block equals `health_report()` and the rendered text
+/// carries the exact counters — injection can never be silent.
+#[test]
+fn every_injected_fault_is_visible_in_device_stats() {
+    let plan = FaultPlan {
+        seed: 0xD1A6,
+        transient_read_p: 0.05,
+        correctable_p: 0.2,
+        dram_stall_p: 0.05,
+        dram_stall_ns: (5_000, 50_000),
+        pe_hang_p: 0.2,
+        schedule: vec![ScheduledFault {
+            addr: PhysAddr { channel: 0, lun: 0, page: 2 },
+            kind: FlashFaultKind::Correctable,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut db = NkvDb::default_db();
+    db.create_table("papers", table_cfg()).unwrap();
+    db.enable_observability(1 << 16);
+    db.platform_mut().install_faults(&plan);
+
+    let gen_cfg = PubGraphConfig { papers: 200, refs: 0, seed: 2 };
+    for step in 0..120u32 {
+        let key = u64::from(step % 60) + 1;
+        db.put("papers", record(&gen_cfg, key, step)).unwrap();
+    }
+    // Push everything to flash so reads actually face the fault plan.
+    db.flush("papers").unwrap();
+    let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 5, value: 3000 }];
+    for _ in 0..10 {
+        let _ = db.scan("papers", &rules, ExecMode::Hardware);
+        db.reset_pes("papers").unwrap();
+    }
+    for key in 1..40u64 {
+        let _ = db.get("papers", key, ExecMode::Software);
+    }
+    db.read_repair(2).unwrap();
+
+    let stats = db.device_stats();
+    assert_eq!(stats.health, db.health_report(), "one snapshot, one truth");
+    let h = stats.health;
+    assert!(h.flash.transient_failures > 0, "transient faults invisible");
+    assert!(h.flash.correctable_hits > 0, "correctable-ECC hits invisible");
+    assert!(h.dram.stalls > 0, "DRAM stalls invisible");
+    assert!(h.pe_hangs_injected > 0, "PE hangs invisible");
+    assert!(h.read_retries > 0, "retry reaction invisible");
+    assert!(h.watchdog_trips > 0, "watchdog reaction invisible");
+    assert!(h.sw_fallback_blocks > 0, "HW->SW degradation invisible");
+    assert!(h.pages_repaired > 0, "read-repair invisible");
+
+    let rendered = stats.to_string();
+    for needle in [
+        format!("injected {} transient flash", h.flash.transient_failures),
+        format!("{} ecc-corrected", h.flash.correctable_hits),
+        format!("{} dram stalls", h.dram.stalls),
+        format!("{} pe hangs", h.pe_hangs_injected),
+        format!("{} watchdog trips", h.watchdog_trips),
+        format!("{} pages repaired", h.pages_repaired),
+    ] {
+        assert!(rendered.contains(&needle), "stats text missing `{needle}`:\n{rendered}");
+    }
+    // The ops that provoked the faults are accounted too.
+    assert_eq!(stats.metrics.op(nkv::OpKind::Put).ops, 120);
+    assert!(stats.metrics.op(nkv::OpKind::Get).ops > 0);
+    assert!(stats.metrics.op(nkv::OpKind::ReadRepair).ops > 0);
 }
 
 #[test]

@@ -165,3 +165,129 @@ fn simulated_times_scale_with_data_volume() {
          (constant per-op overheads shift it slightly), got {ratio:.2}x"
     );
 }
+
+/// Minimal recursive-descent JSON validator (the workspace carries no
+/// serde); returns the rest of the input after one complete value.
+fn json_value(s: &[u8]) -> Result<&[u8], String> {
+    let s = skip_ws(s);
+    match s.first() {
+        Some(b'{') => json_seq(&s[1..], b'}', |s| {
+            let s = json_string(skip_ws(s))?;
+            let s = skip_ws(s);
+            match s.first() {
+                Some(b':') => json_value(&s[1..]),
+                _ => Err("expected `:`".into()),
+            }
+        }),
+        Some(b'[') => json_seq(&s[1..], b']', json_value),
+        Some(b'"') => json_string(s),
+        Some(b't') => json_lit(s, b"true"),
+        Some(b'f') => json_lit(s, b"false"),
+        Some(b'n') => json_lit(s, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let end = s
+                .iter()
+                .position(|c| !(c.is_ascii_digit() || b"+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            s[..end]
+                .iter()
+                .any(|c| c.is_ascii_digit())
+                .then(|| &s[end..])
+                .ok_or_else(|| "bad number".into())
+        }
+        other => Err(format!("unexpected {other:?}")),
+    }
+}
+
+fn skip_ws(s: &[u8]) -> &[u8] {
+    let n = s.iter().take_while(|c| c.is_ascii_whitespace()).count();
+    &s[n..]
+}
+
+fn json_lit<'a>(s: &'a [u8], lit: &[u8]) -> Result<&'a [u8], String> {
+    s.strip_prefix(lit).ok_or_else(|| "bad literal".into())
+}
+
+fn json_string(s: &[u8]) -> Result<&[u8], String> {
+    let mut rest = s.strip_prefix(b"\"").ok_or("expected string")?;
+    loop {
+        match rest.first().ok_or("unterminated string")? {
+            b'"' => return Ok(&rest[1..]),
+            b'\\' => rest = rest.get(2..).ok_or("bad escape")?,
+            _ => rest = &rest[1..],
+        }
+    }
+}
+
+/// `items` already past the opener; elements parsed by `elem`, separated
+/// by commas, closed by `close`.
+fn json_seq<'a>(
+    items: &'a [u8],
+    close: u8,
+    elem: impl Fn(&'a [u8]) -> Result<&'a [u8], String>,
+) -> Result<&'a [u8], String> {
+    let mut s = skip_ws(items);
+    if s.first() == Some(&close) {
+        return Ok(&s[1..]);
+    }
+    loop {
+        s = skip_ws(elem(s)?);
+        match s.first() {
+            Some(b',') => s = skip_ws(&s[1..]),
+            Some(c) if *c == close => return Ok(&s[1..]),
+            other => return Err(format!("expected `,` or close, got {other:?}")),
+        }
+    }
+}
+
+/// The Chrome `trace_event` export of a tiny SCAN is well-formed JSON,
+/// covers every device resource the op touched, orders spans by start
+/// time, and is byte-for-byte reproducible across identical runs.
+#[test]
+fn tiny_scan_chrome_trace_is_valid_json_with_stable_ordering() {
+    let run = || {
+        let m = ndp_spec::parse(PAPER_REF_SPEC).unwrap();
+        let pe = elaborate(&m, PAPER_PE).unwrap();
+        let mut db = NkvDb::default_db();
+        db.create_table("papers", TableConfig::new(pe)).unwrap();
+        let cfg = PubGraphConfig { papers: 200, refs: 0, seed: 5 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode_paper(&p))).unwrap();
+        db.enable_observability(1 << 12);
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4 /* ge */, value: 2000 }];
+        let s = db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+        assert!(s.count > 0, "the tiny scan must match something");
+        cosmos_sim::chrome_trace_json(&db.take_trace())
+    };
+    let json = run();
+
+    // Well-formed JSON, one complete value, nothing trailing.
+    let rest = json_value(json.as_bytes()).unwrap_or_else(|e| panic!("invalid JSON ({e})"));
+    assert!(skip_ws(rest).is_empty(), "trailing bytes after the JSON value");
+    assert!(json.starts_with("{\"traceEvents\":["), "envelope drifted");
+    assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}"), "envelope drifted");
+
+    // Every resource the scan exercised has spans, on its stable pid row.
+    for (name, pid_frag) in [
+        ("flash_read", "\"pid\":100,"),
+        ("dram_transfer", "\"pid\":200,"),
+        ("pe_job", "\"pid\":300,"),
+        ("reg_access", "\"pid\":300,"),
+        ("nvme_transfer", "\"pid\":400,"),
+    ] {
+        assert!(json.contains(&format!("\"name\":\"{name}\"")), "no {name} spans");
+        assert!(json.contains(pid_frag), "pid row {pid_frag} missing");
+    }
+
+    // Spans come out sorted by start timestamp.
+    let ts: Vec<f64> = json
+        .match_indices("\"ts\":")
+        .map(|(i, _)| {
+            let t = &json[i + 5..];
+            t[..t.find(',').unwrap()].parse().unwrap()
+        })
+        .collect();
+    assert!(!ts.is_empty() && ts.windows(2).all(|w| w[0] <= w[1]), "spans not time-ordered");
+
+    // Deterministic: an identical run renders the identical bytes.
+    assert_eq!(json, run(), "trace export is not reproducible");
+}

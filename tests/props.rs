@@ -280,6 +280,104 @@ fn cycle_model_equals_oracle() {
     }
 }
 
+/// Hardware performance-counter conservation on arbitrary blocks and
+/// rules: every tuple that enters the pipeline either leaves it or is
+/// dropped by exactly one filtering stage, and every cycle is either
+/// active or idle. The counters are cumulative across blocks until the
+/// `CNT_CTRL` reset.
+#[test]
+fn perf_counters_conserve_tuples_and_cycles() {
+    use ndp_pe::regs::offsets;
+    use ndp_pe::{MemBus, Mmio, PeDevice, PeSim, VecMem};
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xCF20 + case);
+        let cfg = gen_config(&mut rng);
+        let ts = cfg.input.tuple_bytes() as usize;
+        let mut pe = PeSim::new(cfg.clone());
+        let mut mem = VecMem::new(1 << 20);
+        let mut total_cycles = 0u64;
+        let mut total_in = 0u64;
+        for _block in 0..2 {
+            let n_tuples = 1 + rng.gen_usize(39);
+            let input = random_bytes(&mut rng, n_tuples * ts);
+            mem.write_bytes(0, &input);
+            let rule = FilterRule {
+                lane: rng.gen_u32(cfg.input.lanes),
+                op_code: rng.gen_u32(7),
+                value: rng.next_u64(),
+            };
+            pe.mmio_write(offsets::SRC_LEN, input.len() as u32);
+            pe.mmio_write(offsets::DST_ADDR_LO, 0x8_0000);
+            pe.mmio_write(offsets::DST_CAPACITY, 1 << 18);
+            pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_FIELD, rule.lane);
+            pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_OP, rule.op_code);
+            pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_VAL_LO, rule.value as u32);
+            pe.mmio_write(offsets::STAGE_BASE + offsets::STAGE_VAL_HI, (rule.value >> 32) as u32);
+            pe.mmio_write(offsets::START, 1);
+            let res = pe.execute(&mut mem);
+            total_cycles += res.cycles;
+            total_in += u64::from(res.tuples_in);
+        }
+        let perf = pe.perf();
+        assert_eq!(perf.tuples_in, total_in, "case {case}: counters accumulate across blocks");
+        assert_eq!(
+            perf.tuples_in,
+            perf.tuples_out + perf.dropped_total(),
+            "case {case}: tuples_in = tuples_out + stage drops"
+        );
+        assert_eq!(
+            perf.active + perf.idle,
+            total_cycles,
+            "case {case}: every cycle is active or idle"
+        );
+        pe.reset_perf();
+        assert_eq!(pe.perf().tuples_in, 0, "case {case}: CNT_CTRL clears the bank");
+    }
+}
+
+/// A latency histogram accounts for exactly the recorded samples: the
+/// bucket populations sum to the record count, the max is exact, and
+/// quantiles are monotone with upper bounds never below the true value
+/// at that rank.
+#[test]
+fn latency_histogram_counts_every_record() {
+    use nkv::LatencyHistogram;
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xD030 + case);
+        let mut hist = LatencyHistogram::new();
+        let n = 1 + rng.gen_usize(499);
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Span the full dynamic range: ns .. minutes.
+            let v = rng.next_u64() >> rng.gen_u32(64);
+            hist.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        assert_eq!(hist.count(), n as u64, "case {case}: every record counted");
+        assert_eq!(
+            hist.buckets().iter().sum::<u64>(),
+            n as u64,
+            "case {case}: bucket populations sum to the count"
+        );
+        assert_eq!(hist.max(), *samples.last().unwrap(), "case {case}: max is exact");
+        let mut prev = 0;
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let est = hist.quantile(q);
+            assert!(est >= prev, "case {case}: quantiles are monotone");
+            // Same nearest-rank definition as `quantile`: the
+            // ceil(q*n)-th smallest sample (1-indexed).
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            assert!(
+                est >= samples[rank],
+                "case {case}: q{q} bound {est} below true value {}",
+                samples[rank]
+            );
+            prev = est;
+        }
+    }
+}
+
 // ------------------------------------------------------------- LSM props
 
 /// The LSM tree (through flush and compaction) is observationally
