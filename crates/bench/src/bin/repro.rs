@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin repro -- all [--scale 0.125 | --full]
-//! cargo run --release -p bench --bin repro -- fig7a|fig7b|table1|fig8|fig9|ablations
+//! cargo run --release -p bench --bin repro -- fig7a fig7b table1   # any subset, in order
+//! cargo run --release -p bench --bin repro -- loadgen [--clients 1,4,16] \
+//!     [--depth D] [--ops N] [--seed S] [--scale F]
 //! ```
 //!
 //! Simulated device times come from the calibrated `cosmos-sim` model;
@@ -11,52 +13,104 @@
 //! GiB of RAM and a couple of minutes); the default scale of 1/8 keeps
 //! the streaming terms proportional while constant per-operation
 //! overheads (sub-millisecond) are unaffected.
+//!
+//! `loadgen` is the beyond-paper figure: a closed-loop multi-client
+//! sweep through the NVMe queue engine (it defaults to its own smaller
+//! scale of 1/256 because it builds one database per client count).
+//!
+//! Unknown subcommands and unknown flags both exit nonzero with usage.
 
 use bench::figures;
 use std::env;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let mut cmds: Vec<&str> = Vec::new();
     let mut scale = 1.0 / 8.0;
+    let mut scale_set = false;
+    let mut lg = bench::LoadgenConfig::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
+        if !a.starts_with("--") {
+            cmds.push(a.as_str());
+            continue;
+        }
+        let mut value = |flag: &str| {
+            iter.next().map(String::as_str).unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
         match a.as_str() {
-            "--full" => scale = 1.0,
-            "--scale" => {
-                scale = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--scale needs a number"));
+            "--full" => {
+                scale = 1.0;
+                scale_set = true;
             }
-            _ => {}
+            "--scale" => {
+                scale = value("--scale").parse().unwrap_or_else(|_| die("--scale needs a number"));
+                scale_set = true;
+            }
+            "--clients" => {
+                lg.clients = value("--clients")
+                    .split(',')
+                    .map(|c| c.parse().unwrap_or_else(|_| die("--clients needs n[,n...]")))
+                    .collect();
+            }
+            "--depth" => {
+                lg.depth =
+                    value("--depth").parse().unwrap_or_else(|_| die("--depth needs an integer"));
+            }
+            "--ops" => {
+                lg.ops_per_client =
+                    value("--ops").parse().unwrap_or_else(|_| die("--ops needs an integer"));
+            }
+            "--seed" => {
+                lg.seed =
+                    value("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            other => die(&format!("unknown flag `{other}`")),
         }
     }
+    if scale_set {
+        lg.scale = scale;
+    }
+    if cmds.is_empty() {
+        cmds.push("all");
+    }
+    // Validate every subcommand up front so a typo in the third one
+    // doesn't waste the first two's simulation time.
+    const KNOWN: [&str; 9] =
+        ["all", "fig7a", "fig7b", "table1", "fig8", "fig9", "ablations", "profile", "loadgen"];
+    if let Some(bad) = cmds.iter().find(|c| !KNOWN.contains(c)) {
+        die(&format!("unknown experiment `{bad}`"));
+    }
 
-    match cmd {
-        "all" => {
-            table1();
-            fig8();
-            fig9();
-            fig7a(scale);
-            fig7b(scale);
-            ablations(scale);
+    for cmd in cmds {
+        match cmd {
+            "all" => {
+                table1();
+                fig8();
+                fig9();
+                fig7a(scale);
+                fig7b(scale);
+                ablations(scale);
+            }
+            "fig7a" => fig7a(scale),
+            "fig7b" => fig7b(scale),
+            "table1" => table1(),
+            "fig8" => fig8(),
+            "fig9" => fig9(),
+            "ablations" => ablations(scale),
+            "profile" => profile(scale),
+            "loadgen" => loadgen(&lg),
+            _ => unreachable!(),
         }
-        "fig7a" => fig7a(scale),
-        "fig7b" => fig7b(scale),
-        "table1" => table1(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "ablations" => ablations(scale),
-        "profile" => profile(scale),
-        other => die(&format!("unknown experiment `{other}`")),
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile] [--scale F | --full]"
+        "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
+         \x20            [--scale F | --full]\n\
+         \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]  (loadgen)"
     );
     std::process::exit(2)
 }
@@ -219,6 +273,13 @@ fn profile(scale: f64) {
         p.trace_events,
         p.trace_json.len()
     );
+}
+
+fn loadgen(cfg: &bench::LoadgenConfig) {
+    header("Loadgen — closed-loop multi-client throughput (beyond-paper)");
+    println!("building one database per client count ...");
+    let fig = bench::loadgen::loadgen(cfg);
+    print!("{}", bench::loadgen::render(&fig));
 }
 
 fn ablations(scale: f64) {

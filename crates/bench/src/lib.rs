@@ -10,7 +10,9 @@
 //! * [`figures::fig8`] — out-of-context slices vs tuple size (Full/Half);
 //! * [`figures::fig9`] — out-of-context slice % vs filtering stages;
 //! * [`figures::ablations`] — design-choice ablations called out in
-//!   DESIGN.md (PE count sweep, flexible vs fixed store units).
+//!   DESIGN.md (PE count sweep, flexible vs fixed store units);
+//! * [`loadgen::loadgen`] — beyond-paper: closed-loop multi-client
+//!   throughput/latency sweep through the NVMe queue engine.
 //!
 //! Simulated times come from the calibrated `cosmos-sim` platform; see
 //! EXPERIMENTS.md for the paper-vs-measured record.
@@ -18,5 +20,7 @@
 pub mod dataset;
 pub mod figures;
 pub mod harness;
+pub mod loadgen;
 
 pub use dataset::{build_db, Dataset, DbKind};
+pub use loadgen::{LoadgenConfig, LoadgenFigure, LoadgenPoint};

@@ -1,0 +1,87 @@
+//! Golden-file snapshots of the generated artifacts.
+//!
+//! The full toolflow (`ndp_core::generate`) runs on the repository's
+//! reference specification (`ndp_workload::spec::PAPER_REF_SPEC`) and
+//! the emitted Verilog (`ndp-hdl`) and C header (`ndp-swgen`) of both
+//! reference PE configurations — the paper-tuple PE and the
+//! reference-edge PE — are compared byte-for-byte against the files in
+//! `tests/golden/`.
+//!
+//! These artifacts are contracts: the register offsets in the header
+//! and the module interfaces in the RTL are what firmware and
+//! integration partners build against, so *any* textual drift must be a
+//! conscious decision. When an intentional generator change alters the
+//! output, regenerate the snapshots with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p ndp-core --test golden
+//! ```
+//!
+//! then review the diff of `crates/core/tests/golden/` like any other
+//! code change before committing it.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the committed snapshot `name`, or rewrite
+/// the snapshot when `BLESS` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if env::var_os("BLESS").is_some() {
+        fs::create_dir_all(golden_dir()).expect("create golden dir");
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             `BLESS=1 cargo test -p ndp-core --test golden`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Point at the first diverging line rather than dumping both
+        // multi-thousand-line artifacts.
+        let line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or(expected.lines().count().min(actual.lines().count()), |l| l);
+        panic!(
+            "{name} drifted from its golden snapshot at line {} \
+             (expected {:?}, got {:?}).\n\
+             If the change is intentional, regenerate with \
+             `BLESS=1 cargo test -p ndp-core --test golden` and review the diff.",
+            line + 1,
+            expected.lines().nth(line).unwrap_or("<eof>"),
+            actual.lines().nth(line).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn reference_pe_artifacts_match_goldens() {
+    let arts = ndp_core::generate(ndp_workload::spec::PAPER_REF_SPEC).expect("reference spec");
+    for pe_name in [ndp_workload::spec::PAPER_PE, ndp_workload::spec::REF_PE] {
+        let pe = arts.pe(pe_name).expect("reference PE generated");
+        check(&format!("{}.v", pe.file_stem()), &pe.verilog);
+        check(&format!("{}.h", pe.file_stem()), &pe.c_header);
+    }
+}
+
+#[test]
+fn generation_is_deterministic() {
+    // The snapshot test is only meaningful if generation itself is a
+    // pure function of the spec.
+    let a = ndp_core::generate(ndp_workload::spec::PAPER_REF_SPEC).expect("spec");
+    let b = ndp_core::generate(ndp_workload::spec::PAPER_REF_SPEC).expect("spec");
+    for (x, y) in a.pes.iter().zip(&b.pes) {
+        assert_eq!(x.verilog, y.verilog);
+        assert_eq!(x.c_header, y.c_header);
+    }
+}

@@ -20,7 +20,10 @@
 //!   transient/persistent/correctable flash faults, DRAM stall bursts,
 //!   PE hangs and power cuts, with zero overhead when disabled;
 //! * [`trace`] — ring-buffered typed event spans in simulated time with
-//!   Chrome `trace_event` export, zero-cost when disabled.
+//!   Chrome `trace_event` export, zero-cost when disabled;
+//! * [`queue`] — paired NVMe submission/completion queues with
+//!   configurable count/depth, doorbell + SQE/CQE link accounting and
+//!   full-queue stall tracking, opt-in like faults and tracing.
 //!
 //! Simulated time is in **nanoseconds** ([`SimNs`]); both PL clock
 //! domains are exact in ns (10 ns at 100 MHz, 4 ns at 250 MHz).
@@ -30,6 +33,7 @@ pub mod events;
 pub mod faults;
 pub mod flash;
 pub mod platform;
+pub mod queue;
 pub mod server;
 pub mod timing;
 pub mod trace;
@@ -39,6 +43,7 @@ pub use events::EventQueue;
 pub use faults::{FaultPlan, FaultRng, FlashFaultKind, ScheduledFault};
 pub use flash::{FlashArray, FlashConfig, FlashError, PhysAddr};
 pub use platform::{CosmosConfig, CosmosPlatform, FirmwareEra};
+pub use queue::{NvmeQueueConfig, NvmeQueues, QueuePair, QueueStats, CQE_BYTES, SQE_BYTES};
 pub use server::{BandwidthLink, Server};
 pub use trace::{chrome_trace_json, TraceEvent, TraceKind, TraceRing};
 

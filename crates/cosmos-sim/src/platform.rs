@@ -10,6 +10,7 @@
 use crate::dram::Dram;
 use crate::faults::{FaultPlan, PeFaultState};
 use crate::flash::{FlashArray, FlashConfig};
+use crate::queue::{NvmeQueueConfig, NvmeQueues, CQE_BYTES, SQE_BYTES};
 use crate::server::{BandwidthLink, Server};
 use crate::trace::{TraceEvent, TraceKind, TraceRing};
 use crate::{timing, SimNs};
@@ -65,6 +66,9 @@ pub struct CosmosPlatform {
     /// Platform-level span ring (PE jobs, NVMe transfers, register
     /// accesses); `None` (the default) costs one branch per record site.
     trace: Option<TraceRing>,
+    /// NVMe queue pairs for multi-tenant command admission; `None` (the
+    /// default) keeps the serial one-op-at-a-time path untouched.
+    queues: Option<NvmeQueues>,
 }
 
 impl CosmosPlatform {
@@ -78,6 +82,7 @@ impl CosmosPlatform {
             firmware: cfg.firmware,
             pe_faults: None,
             trace: None,
+            queues: None,
         }
     }
 
@@ -193,6 +198,84 @@ impl CosmosPlatform {
             + self.dram.trace_dropped()
             + self.trace.as_ref().map_or(0, TraceRing::dropped)
     }
+
+    /// Expose NVMe queue pairs with geometry `cfg`. Until this is
+    /// called the platform has no queue state at all and every
+    /// operation takes the serial path. While queues are enabled, every
+    /// resource timeline runs in gap-aware backfill mode so commands of
+    /// different clients overlap the way pipelined hardware would (the
+    /// serial path's strictly monotone arrivals make the two modes
+    /// coincide, so enabling queues never perturbs serial results).
+    pub fn enable_queues(&mut self, cfg: NvmeQueueConfig) {
+        self.queues = Some(NvmeQueues::new(cfg));
+        self.set_backfill(true);
+    }
+
+    /// Drop all queue state (in-flight bookkeeping and counters) and
+    /// return the resource timelines to the strict conveyor.
+    pub fn disable_queues(&mut self) {
+        self.queues = None;
+        self.set_backfill(false);
+    }
+
+    /// Switch every device timeline (ARM, NVMe link, flash, DRAM)
+    /// between the strict conveyor and gap-aware backfill.
+    fn set_backfill(&mut self, on: bool) {
+        self.arm.set_backfill(on);
+        self.nvme.set_backfill(on);
+        self.flash.set_backfill(on);
+        self.dram.set_backfill(on);
+    }
+
+    /// The queue pairs, when enabled.
+    pub fn queues(&self) -> Option<&NvmeQueues> {
+        self.queues.as_ref()
+    }
+
+    /// Admit command `cid` from `client` at `now`: pick the client's
+    /// queue pair, stall if it is full, ring the SQ doorbell (one MMIO
+    /// write) and fetch the 64 B SQE over the NVMe link. Returns
+    /// `(qid, submit_ns, fetch_done_ns)`; the command's execution should
+    /// be scheduled at `fetch_done_ns`.
+    ///
+    /// Panics when queues are not enabled — the caller owns the choice
+    /// of serial vs. queued path.
+    pub fn queue_submit(&mut self, client: u32, cid: u16, now: SimNs) -> (u16, SimNs, SimNs) {
+        let (qid, submit) = {
+            let q = self.queues.as_mut().expect("NVMe queues not enabled");
+            let qid = q.pair_for_client(client);
+            (qid, q.pair_mut(qid).admit(now))
+        };
+        let (_, fetch_done) = self.nvme.transfer(submit + timing::MMIO_WRITE_NS, SQE_BYTES);
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                kind: TraceKind::QueueSubmit { qid, cid },
+                start: submit,
+                dur: fetch_done - submit,
+            });
+        }
+        (qid, submit, fetch_done)
+    }
+
+    /// Post the completion of command `cid` on pair `qid`: DMA the 16 B
+    /// CQE over the NVMe link after the command's execution finishes at
+    /// `exec_done`, then the host acknowledges with a CQ-head doorbell
+    /// write. Returns the completion time the host observes, and frees
+    /// the command's queue slot as of that time.
+    pub fn queue_complete(&mut self, qid: u16, cid: u16, exec_done: SimNs) -> SimNs {
+        let (_, cqe_done) = self.nvme.transfer(exec_done, CQE_BYTES);
+        let complete = cqe_done + timing::MMIO_WRITE_NS;
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                kind: TraceKind::QueueComplete { qid, cid },
+                start: exec_done,
+                dur: complete - exec_done,
+            });
+        }
+        let q = self.queues.as_mut().expect("NVMe queues not enabled");
+        q.pair_mut(qid).commit(complete);
+        complete
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +312,23 @@ mod tests {
         assert!(two_blocks > one_block);
         // ~8.15 ns per byte: a 32 KiB block costs ~267 µs + overhead.
         assert!((267_000..268_500).contains(&one_block), "got {one_block}");
+    }
+
+    #[test]
+    fn queue_submit_accounts_doorbell_and_sqe_fetch() {
+        let mut p = CosmosPlatform::default_platform();
+        p.enable_queues(crate::queue::NvmeQueueConfig { queues: 2, depth: 4 });
+        let (qid, submit, fetch) = p.queue_submit(3, 0, 1_000);
+        assert_eq!(qid, 1, "client 3 of 2 queues lands on pair 1");
+        assert_eq!(submit, 1_000);
+        // Doorbell MMIO then a 64 B SQE fetch on an idle link.
+        let expected =
+            submit + timing::MMIO_WRITE_NS + p.nvme.duration_for(crate::queue::SQE_BYTES);
+        assert_eq!(fetch, expected);
+        let done = p.queue_complete(qid, 0, fetch + 500_000);
+        assert!(done > fetch + 500_000);
+        let stats = p.queues().unwrap().stats_total();
+        assert_eq!((stats.submitted, stats.completed), (1, 1));
     }
 
     #[test]

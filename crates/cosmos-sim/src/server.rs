@@ -2,19 +2,53 @@
 //!
 //! All platform resources (flash channel buses, controller queues, the
 //! DRAM port, the ARM core, the NVMe link) are modeled as single FCFS
-//! servers: a request arriving at time `t` starts at `max(t, busy_until)`
-//! and occupies the resource for its service time. This is the classic
-//! "resource timeline" discrete-event style — deterministic and exact for
-//! the pipelined bulk transfers that dominate the paper's workloads.
+//! servers: a request arriving at time `t` starts at the first point at
+//! or after `t` where the resource is free for its whole service time.
+//! This is the classic "resource timeline" discrete-event style —
+//! deterministic and exact for the pipelined bulk transfers that
+//! dominate the paper's workloads.
+//!
+//! The timeline can be *gap-aware*: reservations are kept as disjoint
+//! busy intervals, and with [`Server::set_backfill`] enabled a job may
+//! start in an idle gap that lies before a later reservation. The
+//! default is the strict conveyor (`start = max(arrival, busy_until)`),
+//! which every serial one-op-at-a-time code path uses — so all paper
+//! figures are computed exactly as before, byte for byte. The queued
+//! engine (`nkv::queue`) switches the device into backfill mode for the
+//! duration of a multi-client run: there, command N+1 may need a
+//! resource at a wall time earlier than command N's *future*
+//! reservation on it — e.g. the ARM core is touched at the start
+//! (memtable probe) and end (PE config writes) of every GET, and under
+//! the strict conveyor each command's first ARM job would queue behind
+//! its predecessor's last one even though the core sits idle in
+//! between, serializing the whole device. Backfill restores the
+//! overlap a real pipelined device has. Note that for monotonically
+//! non-decreasing arrivals the two modes provably coincide: a usable
+//! gap at or after a new arrival would require an earlier job to have
+//! started later than the new arrival, contradicting monotonicity.
 
 use crate::SimNs;
+use std::collections::VecDeque;
 
-/// A single first-come-first-served resource.
-#[derive(Debug, Clone, Copy, Default)]
+/// Cap on remembered busy intervals per server. When exceeded, the
+/// oldest interval is folded into a "no job before here" floor — the
+/// distant past is treated as solid, which only forbids backfilling
+/// into gaps nobody will reach and keeps memory bounded on long runs.
+const MAX_TRACKED_INTERVALS: usize = 512;
+
+/// A single first-come-first-served resource with a gap-aware timeline.
+#[derive(Debug, Clone, Default)]
 pub struct Server {
-    busy_until: SimNs,
+    /// Disjoint busy intervals `(start, end)`, sorted by start and
+    /// coalesced when abutting.
+    reserved: VecDeque<(SimNs, SimNs)>,
+    /// No job may be placed before this time (pruned-history horizon).
+    floor: SimNs,
     /// Total busy time accumulated (for utilization reporting).
     busy_total: SimNs,
+    /// When set, jobs may start in idle gaps before later reservations;
+    /// when clear (default), the strict `busy_until` conveyor applies.
+    backfill: bool,
 }
 
 impl Server {
@@ -23,19 +57,69 @@ impl Server {
         Self::default()
     }
 
+    /// Switch between the strict conveyor (`false`, default) and
+    /// gap-aware backfill scheduling (`true`). Toggling is safe at any
+    /// point: existing reservations stay as they are.
+    pub fn set_backfill(&mut self, on: bool) {
+        self.backfill = on;
+    }
+
     /// Schedule a job arriving at `arrival` with the given service
-    /// `duration`; returns `(start, finish)`.
+    /// `duration`: the job starts at the first instant `>= arrival`
+    /// where the resource is continuously free for `duration` (in
+    /// backfill mode), or at `max(arrival, busy_until)` (strict mode).
+    /// Returns `(start, finish)`.
     pub fn schedule(&mut self, arrival: SimNs, duration: SimNs) -> (SimNs, SimNs) {
-        let start = arrival.max(self.busy_until);
+        let mut start = arrival.max(self.floor);
+        let mut idx = self.reserved.len();
+        if self.backfill {
+            for (i, &(s, e)) in self.reserved.iter().enumerate() {
+                if e <= start {
+                    continue;
+                }
+                if start + duration <= s {
+                    idx = i;
+                    break;
+                }
+                start = start.max(e);
+            }
+        } else {
+            start = start.max(self.available_at());
+        }
         let finish = start + duration;
-        self.busy_until = finish;
+        self.insert_at(idx, start, finish);
         self.busy_total += duration;
+        while self.reserved.len() > MAX_TRACKED_INTERVALS {
+            if let Some((_, e)) = self.reserved.pop_front() {
+                self.floor = e;
+            }
+        }
         (start, finish)
     }
 
-    /// Earliest time a new job could start.
+    /// Insert `(start, finish)` before index `idx`, coalescing with
+    /// abutting neighbors so dense timelines stay short.
+    fn insert_at(&mut self, idx: usize, start: SimNs, finish: SimNs) {
+        if start == finish {
+            return; // zero-length jobs reserve nothing
+        }
+        let joins_prev = idx > 0 && self.reserved[idx - 1].1 == start;
+        let joins_next = idx < self.reserved.len() && self.reserved[idx].0 == finish;
+        match (joins_prev, joins_next) {
+            (true, true) => {
+                self.reserved[idx - 1].1 = self.reserved[idx].1;
+                self.reserved.remove(idx);
+            }
+            (true, false) => self.reserved[idx - 1].1 = finish,
+            (false, true) => self.reserved[idx].0 = start,
+            (false, false) => self.reserved.insert(idx, (start, finish)),
+        }
+    }
+
+    /// Time after which the resource is free indefinitely (end of the
+    /// last reservation). Earlier idle gaps may still accept jobs.
     pub fn available_at(&self) -> SimNs {
-        self.busy_until
+        self.reserved.back().map_or(self.floor, |&(_, e)| e)
     }
 
     /// Total time this server has been busy.
@@ -54,7 +138,7 @@ impl Server {
 }
 
 /// A server whose service time is proportional to the transferred bytes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BandwidthLink {
     server: Server,
     /// Picoseconds per byte (ps keeps sub-ns rates exact in integers).
@@ -78,6 +162,12 @@ impl BandwidthLink {
         (bytes * self.ps_per_byte).div_ceil(1000)
     }
 
+    /// Switch between strict conveyor and gap-aware backfill (see
+    /// [`Server::set_backfill`]).
+    pub fn set_backfill(&mut self, on: bool) {
+        self.server.set_backfill(on);
+    }
+
     /// Schedule a transfer of `bytes` arriving at `arrival`;
     /// returns `(start, finish)`.
     pub fn transfer(&mut self, arrival: SimNs, bytes: u64) -> (SimNs, SimNs) {
@@ -86,7 +176,7 @@ impl BandwidthLink {
         self.server.schedule(arrival, d)
     }
 
-    /// Earliest time a new transfer could start.
+    /// Time after which the link is free indefinitely.
     pub fn available_at(&self) -> SimNs {
         self.server.available_at()
     }
@@ -118,6 +208,56 @@ mod tests {
         assert_eq!(s.schedule(3, 5), (10, 15), "second job queues behind the first");
         assert_eq!(s.schedule(100, 5), (100, 105), "idle gap is not consumed");
         assert_eq!(s.busy_total(), 20);
+    }
+
+    #[test]
+    fn strict_mode_never_backfills() {
+        let mut s = Server::new();
+        s.schedule(0, 15); // [0, 15)
+        s.schedule(100, 5); // [100, 105)
+        assert_eq!(s.schedule(16, 2), (105, 107), "conveyor ignores the gap");
+    }
+
+    #[test]
+    fn backfill_uses_idle_gaps_between_reservations() {
+        let mut s = Server::new();
+        s.set_backfill(true);
+        s.schedule(0, 15); // [0, 15)
+        s.schedule(100, 5); // [100, 105)
+                            // A job arriving in the gap fits there instead of queueing
+                            // behind the future reservation.
+        assert_eq!(s.schedule(16, 2), (16, 18), "gap accepts the job");
+        // One that does not fit before the next reservation queues
+        // behind it.
+        assert_eq!(s.schedule(20, 90), (105, 195), "oversized job skips the gap");
+        assert_eq!(s.busy_total(), 15 + 5 + 2 + 90);
+    }
+
+    #[test]
+    fn abutting_reservations_coalesce() {
+        let mut s = Server::new();
+        for i in 0..10 * MAX_TRACKED_INTERVALS as u64 {
+            s.schedule(i * 10, 10);
+        }
+        // Back-to-back jobs merge into one interval, so dense timelines
+        // never hit the pruning cap.
+        assert_eq!(s.available_at(), 10 * MAX_TRACKED_INTERVALS as u64 * 10);
+        assert_eq!(s.schedule(3, 4), (s.available_at() - 4, s.available_at()));
+    }
+
+    #[test]
+    fn pruning_bounds_memory_and_stays_causal() {
+        let mut s = Server::new();
+        s.set_backfill(true);
+        // Sparse jobs (gaps never abut) force interval growth past the
+        // cap; the oldest gaps become unusable but scheduling after the
+        // horizon is unaffected.
+        for i in 0..2 * MAX_TRACKED_INTERVALS as u64 {
+            s.schedule(i * 100, 1);
+        }
+        let tail = s.available_at();
+        let (start, finish) = s.schedule(tail + 50, 1);
+        assert_eq!((start, finish), (tail + 50, tail + 51));
     }
 
     #[test]

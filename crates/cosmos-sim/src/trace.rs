@@ -41,6 +41,12 @@ pub enum TraceKind {
     NvmeTransfer { bytes: u64 },
     /// A batch of PE control-register accesses (PS↔PL round trips).
     RegAccess { pe: u32, writes: u64, reads: u64 },
+    /// NVMe command admission on queue pair `qid`: SQ doorbell write
+    /// plus the controller's 64 B SQE fetch, for command id `cid`.
+    QueueSubmit { qid: u16, cid: u16 },
+    /// NVMe completion posting on queue pair `qid`: 16 B CQE DMA plus
+    /// the host's CQ-head doorbell acknowledgement, for command `cid`.
+    QueueComplete { qid: u16, cid: u16 },
 }
 
 /// One timed span in simulated time.
@@ -110,7 +116,9 @@ fn client_name(c: DramClient) -> &'static str {
 }
 
 /// Stable process-ID layout of the Chrome export: one "process" per
-/// flash channel and per PE, one for the DRAM port, one for NVMe.
+/// flash channel and per PE, one for the DRAM port, one for NVMe data
+/// transfers, and one per NVMe queue pair (submissions and completions
+/// on separate threads).
 fn pid_tid(kind: &TraceKind) -> (u64, u64) {
     match kind {
         TraceKind::FlashRead { channel, lun } | TraceKind::FlashProgram { channel, lun } => {
@@ -120,6 +128,8 @@ fn pid_tid(kind: &TraceKind) -> (u64, u64) {
         TraceKind::PeJob { pe, .. } => (300 + u64::from(*pe), 1),
         TraceKind::RegAccess { pe, .. } => (300 + u64::from(*pe), 2),
         TraceKind::NvmeTransfer { .. } => (400, 1),
+        TraceKind::QueueSubmit { qid, .. } => (500 + u64::from(*qid), 1),
+        TraceKind::QueueComplete { qid, .. } => (500 + u64::from(*qid), 2),
     }
 }
 
@@ -147,6 +157,12 @@ fn name_cat_args(kind: &TraceKind) -> (&'static str, &'static str, String) {
         }
         TraceKind::RegAccess { pe, writes, reads } => {
             ("reg_access", "mmio", format!("\"pe\":{pe},\"writes\":{writes},\"reads\":{reads}"))
+        }
+        TraceKind::QueueSubmit { qid, cid } => {
+            ("queue_submit", "queue", format!("\"qid\":{qid},\"cid\":{cid}"))
+        }
+        TraceKind::QueueComplete { qid, cid } => {
+            ("queue_complete", "queue", format!("\"qid\":{qid},\"cid\":{cid}"))
         }
     }
 }
@@ -236,17 +252,30 @@ mod tests {
             TraceKind::PeJob { pe: 4, cycles: 99 },
             TraceKind::NvmeTransfer { bytes: 80 },
             TraceKind::RegAccess { pe: 4, writes: 7, reads: 2 },
+            TraceKind::QueueSubmit { qid: 3, cid: 17 },
+            TraceKind::QueueComplete { qid: 3, cid: 17 },
         ];
         let evs: Vec<TraceEvent> =
             kinds.iter().map(|&kind| TraceEvent { kind, start: 0, dur: 1 }).collect();
         let json = chrome_trace_json(&evs);
-        for frag in ["\"pid\":100,", "\"pid\":107,", "\"pid\":200,", "\"pid\":304,", "\"pid\":400,"]
-        {
+        for frag in [
+            "\"pid\":100,",
+            "\"pid\":107,",
+            "\"pid\":200,",
+            "\"pid\":304,",
+            "\"pid\":400,",
+            "\"pid\":503,",
+        ] {
             assert!(json.contains(frag), "{frag} missing in {json}");
         }
         // PE job and its register accesses share a process, on separate
         // threads.
         assert!(json.contains("\"name\":\"pe_job\",\"cat\":\"pe\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":304,\"tid\":1"));
         assert!(json.contains("\"name\":\"reg_access\",\"cat\":\"mmio\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":304,\"tid\":2"));
+        // A queue pair is one process: submissions on tid 1,
+        // completions on tid 2.
+        assert!(json.contains("\"name\":\"queue_submit\",\"cat\":\"queue\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":503,\"tid\":1"));
+        assert!(json.contains("\"name\":\"queue_complete\",\"cat\":\"queue\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":503,\"tid\":2"));
+        assert!(json.contains("\"args\":{\"qid\":3,\"cid\":17}"));
     }
 }

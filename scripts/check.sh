@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints (deny warnings), the test suite,
-# the observability example (+ trace-JSON validity), and a fast-mode
-# repro run diffed against the committed reference output.
+# Full local gate: formatting, lints (deny warnings), the test suite
+# (including the golden-artifact snapshots), the observability example
+# (+ trace-JSON validity), a fast-mode repro run diffed against the
+# committed reference output, a fixed-seed loadgen smoke run diffed the
+# same way, and the repro CLI's error paths.
 # Run from anywhere; operates on the repo this script lives in.
+# CHECK_SLOW=1 additionally runs the #[ignore]d long campaigns
+# (queue-engine determinism sweep) via --include-ignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,8 +16,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test"
-cargo test --workspace -q
+if [ "${CHECK_SLOW:-0}" = "1" ]; then
+    echo "==> cargo test (including #[ignore]d slow campaigns)"
+    cargo test --workspace -q -- --include-ignored
+else
+    echo "==> cargo test"
+    cargo test --workspace -q
+fi
+
+echo "==> golden artifact snapshots are in sync"
+# Redundant with the workspace test run above, but kept as an explicit,
+# named gate: a drifted generator fails here even if someone filters
+# the main test invocation.
+cargo test -q -p ndp-core --test golden
 
 echo "==> profiling example + trace JSON validity"
 cargo run --release --example profiling -- target/profile_trace.json > /dev/null
@@ -25,9 +40,24 @@ else
         && tail -c 32 target/profile_trace.json | grep -q '"displayTimeUnit":"ns"}'
 fi
 
-echo "==> repro output is reproducible (observability stays zero-cost)"
+echo "==> repro output is reproducible (observability and queues stay zero-cost)"
 cargo build --release -p bench -q
 ./target/release/repro all --scale 0.0625 > target/repro_output.txt
 diff -u repro_output.txt target/repro_output.txt
+
+echo "==> loadgen smoke run matches the committed fixed-seed expectation"
+./target/release/repro loadgen --clients 1,2,4 --depth 2 --ops 8 --seed 7 \
+    --scale 0.00048828125 > target/loadgen_smoke.txt
+diff -u loadgen_smoke.txt target/loadgen_smoke.txt
+
+echo "==> repro CLI rejects unknown subcommands and flags"
+if ./target/release/repro definitely-not-an-experiment > /dev/null 2>&1; then
+    echo "error: unknown subcommand must exit nonzero" >&2
+    exit 1
+fi
+if ./target/release/repro all --definitely-not-a-flag > /dev/null 2>&1; then
+    echo "error: unknown flag must exit nonzero" >&2
+    exit 1
+fi
 
 echo "All checks passed."
