@@ -1,0 +1,191 @@
+//! Shared execution-engine plumbing.
+//!
+//! The firmware's GET/SCAN/aggregate loops all need the same four
+//! services: retrying flash reads with backoff, claiming a healthy PE
+//! under the watchdog/degradation policy, dispatching one block job to
+//! a PE (ARM register configuration + PE streaming + DRAM traffic), and
+//! falling back to the ARM oracle when no PE is available. Each used to
+//! carry its own copy inside `exec.rs`; they live here exactly once so
+//! every backend — software, hardware, and future plan-driven paths —
+//! shares one resilience and accounting implementation.
+
+use crate::error::{NkvError, NkvResult};
+use crate::exec::{HealthCounters, ResilienceConfig, TableExec};
+use crate::sst::{read_block, SstMeta};
+use cosmos_sim::dram::DramClient;
+use cosmos_sim::{timing, CosmosPlatform, FlashArray, SimNs};
+
+/// Run `attempt_read` at increasing simulated times until it succeeds,
+/// fails non-retryably, or exhausts the retry budget. Backoff before
+/// retry `n` is `backoff_base_ns << (n - 1)` (capped shift); every
+/// retry and the backoff time are accounted in `health`. Exhaustion
+/// surfaces as [`NkvError::RetriesExhausted`] with the given identity.
+pub(crate) fn retry_read<T>(
+    res: &ResilienceConfig,
+    health: &mut HealthCounters,
+    sst_id: u64,
+    block: usize,
+    now: SimNs,
+    mut attempt_read: impl FnMut(SimNs) -> NkvResult<T>,
+) -> NkvResult<T> {
+    let mut at = now;
+    let mut attempt = 0u32;
+    loop {
+        match attempt_read(at) {
+            Err(NkvError::Flash(e)) if e.is_retryable() => {
+                attempt += 1;
+                if attempt > res.max_read_retries {
+                    health.reads_failed += 1;
+                    return Err(NkvError::RetriesExhausted { sst_id, block, attempts: attempt });
+                }
+                health.read_retries += 1;
+                let backoff = res.backoff_base_ns << (attempt - 1).min(16);
+                health.retry_backoff_ns += backoff;
+                at += backoff;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Retrying wrapper around [`read_block`]: transient failures back off
+/// in simulated time and retry; budget exhaustion becomes the typed
+/// [`NkvError::RetriesExhausted`]. Non-retryable errors pass through.
+pub(crate) fn read_block_resilient(
+    flash: &mut FlashArray,
+    res: &ResilienceConfig,
+    health: &mut HealthCounters,
+    sst: &SstMeta,
+    block_idx: usize,
+    now: SimNs,
+) -> NkvResult<(SimNs, Vec<u8>)> {
+    retry_read(res, health, sst.id, block_idx, now, |at| read_block(flash, sst, block_idx, at))
+}
+
+/// Retrying read of an SST's index page (same policy as data blocks;
+/// the page content is already cached in the metadata, only the flash
+/// time matters). Returns the read-completion time.
+pub(crate) fn read_index_page_resilient(
+    platform: &mut CosmosPlatform,
+    res: &ResilienceConfig,
+    health: &mut HealthCounters,
+    sst_id: u64,
+    page: cosmos_sim::PhysAddr,
+    now: SimNs,
+) -> NkvResult<SimNs> {
+    // `usize::MAX` marks the index page (not a data block) in the error.
+    let flash = &mut platform.flash;
+    retry_read(res, health, sst_id, usize::MAX, now, |at| {
+        flash.read_page(page, at).map(|(done, _)| done).map_err(NkvError::from)
+    })
+}
+
+/// Next non-failed PE in round-robin order, advancing `rr` past it;
+/// `None` once every PE has been marked failed.
+pub(crate) fn next_healthy_pe(failed: &[bool], n_pes: usize, rr: &mut usize) -> Option<usize> {
+    let n = n_pes.max(1);
+    for _ in 0..n {
+        let d = *rr % n;
+        *rr += 1;
+        if !failed.get(d).copied().unwrap_or(false) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Where one block runs after the PE claim is resolved.
+pub(crate) enum PeGrant {
+    /// Dispatch to this PE index.
+    Hw(usize),
+    /// Process on the ARM; `hung` is set when a fresh watchdog trip led
+    /// here (the caller charges `watchdog_ns` before resuming).
+    Sw { hung: bool },
+}
+
+/// Claim `candidate` for one block job: roll the platform's hang fault,
+/// account watchdog trips and software fallbacks, and decide where the
+/// block runs. A hung PE is retired for the session; with
+/// `hw_fallback_to_sw` disabled the hang fails the operation with
+/// [`NkvError::PeTimeout`] instead of degrading. `count_fallback` is
+/// false for blocks that were never HW-eligible (the fixed-block
+/// baseline's software tail block).
+pub(crate) fn claim_pe(
+    platform: &mut CosmosPlatform,
+    exec: &mut TableExec,
+    candidate: Option<usize>,
+    count_fallback: bool,
+) -> NkvResult<PeGrant> {
+    // Watchdog: a hung PE never raises DONE; the firmware's poll times
+    // out, the PE is retired and the block degrades to software.
+    let hang = candidate.is_some() && platform.roll_pe_hang();
+    if hang {
+        let d = candidate.expect("hang implies a selected PE");
+        exec.health.watchdog_trips += 1;
+        if let Some(f) = exec.pe_failed.get_mut(d) {
+            *f = true;
+        }
+        if !exec.resilience.hw_fallback_to_sw {
+            return Err(NkvError::PeTimeout { pe: d, watchdog_ns: exec.resilience.watchdog_ns });
+        }
+    }
+    match candidate {
+        Some(d) if !hang => Ok(PeGrant::Hw(d)),
+        _ => {
+            if count_fallback {
+                exec.health.sw_fallback_blocks += 1;
+            }
+            Ok(PeGrant::Sw { hung: hang })
+        }
+    }
+}
+
+/// The time a degraded block resumes on the ARM: after the watchdog
+/// timeout on a fresh hang, immediately otherwise.
+pub(crate) fn sw_resume_at(exec: &TableExec, staged: SimNs, hung: bool) -> SimNs {
+    if hung {
+        staged + exec.resilience.watchdog_ns
+    } else {
+        staged
+    }
+}
+
+/// Charge the ARM for one software filter pass over `bytes` of staged
+/// data, starting no earlier than `resume`; returns the finish time.
+pub(crate) fn arm_filter(platform: &mut CosmosPlatform, resume: SimNs, bytes: u64) -> SimNs {
+    let (_, t) = platform.arm.schedule(resume, platform.arm_filter_ns(bytes));
+    t
+}
+
+/// Schedule one hardware block job on PE `d`: the ARM writes the config
+/// registers at `staged`, the PE streams the block for `cycles`, and
+/// the PE's DRAM traffic rides the shared port — a load of `load_bytes`
+/// at config-done (when given) and a store of `store_bytes` at PE-done
+/// (when given). Returns the job's completion time: the store's finish
+/// when it stores, the PE's finish otherwise. GET/SCAN/aggregate differ
+/// only in which sides of the DRAM traffic exist.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn schedule_hw_job(
+    platform: &mut CosmosPlatform,
+    exec: &mut TableExec,
+    d: usize,
+    staged: SimNs,
+    cycles: u64,
+    w: u64,
+    r: u64,
+    load_bytes: Option<u64>,
+    store_bytes: Option<u64>,
+) -> SimNs {
+    let cfg_ns = platform.mmio_cost_ns(w, r);
+    let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
+    platform.trace_reg_access(d as u32, cfg_start, cfg_ns, w, r);
+    let (pe_start, pe_done) = exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
+    platform.trace_pe_job(d as u32, pe_start, pe_done - pe_start, cycles);
+    if let Some(bytes) = load_bytes {
+        let _ = platform.dram.timed_transfer(DramClient::PeLoad, bytes, cfg_done);
+    }
+    match store_bytes {
+        Some(bytes) => platform.dram.timed_transfer(DramClient::PeStore, bytes, pe_done),
+        None => pe_done,
+    }
+}

@@ -47,12 +47,16 @@
 //!   counted in [`HealthCounters`], surfaced device-wide through
 //!   `NkvDb::health_report`.
 
+use crate::engine::{
+    arm_filter, claim_pe, next_healthy_pe, read_block_resilient, read_index_page_resilient,
+    schedule_hw_job, sw_resume_at, PeGrant,
+};
 use crate::error::{NkvError, NkvResult};
 use crate::lsm::LsmTree;
 use crate::memtable::Entry;
-use crate::sst::{read_block, search_block, SstMeta};
+use crate::sst::{search_block, SstMeta};
 use cosmos_sim::dram::DramClient;
-use cosmos_sim::{timing, CosmosPlatform, FlashArray, Server, SimNs};
+use cosmos_sim::{timing, CosmosPlatform, Server, SimNs};
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
 use ndp_pe::pipeline::estimate_block_cycles;
 use ndp_pe::{MemBus, PeDevice};
@@ -149,55 +153,6 @@ pub struct HealthCounters {
     /// Blocks processed by the ARM oracle because no healthy PE was
     /// available (includes the block of each watchdog trip).
     pub sw_fallback_blocks: u64,
-}
-
-/// Retrying wrapper around [`read_block`]: transient failures back off in
-/// simulated time and retry; budget exhaustion becomes the typed
-/// [`NkvError::RetriesExhausted`]. Non-retryable errors pass through.
-fn read_block_resilient(
-    flash: &mut FlashArray,
-    res: &ResilienceConfig,
-    health: &mut HealthCounters,
-    sst: &SstMeta,
-    block_idx: usize,
-    now: SimNs,
-) -> NkvResult<(SimNs, Vec<u8>)> {
-    let mut at = now;
-    let mut attempt = 0u32;
-    loop {
-        match read_block(flash, sst, block_idx, at) {
-            Err(NkvError::Flash(e)) if e.is_retryable() => {
-                attempt += 1;
-                if attempt > res.max_read_retries {
-                    health.reads_failed += 1;
-                    return Err(NkvError::RetriesExhausted {
-                        sst_id: sst.id,
-                        block: block_idx,
-                        attempts: attempt,
-                    });
-                }
-                health.read_retries += 1;
-                let backoff = res.backoff_base_ns << (attempt - 1).min(16);
-                health.retry_backoff_ns += backoff;
-                at += backoff;
-            }
-            other => return other,
-        }
-    }
-}
-
-/// Next non-failed PE in round-robin order, advancing `rr` past it;
-/// `None` once every PE has been marked failed.
-fn next_healthy_pe(failed: &[bool], n_pes: usize, rr: &mut usize) -> Option<usize> {
-    let n = n_pes.max(1);
-    for _ in 0..n {
-        let d = *rr % n;
-        *rr += 1;
-        if !failed.get(d).copied().unwrap_or(false) {
-            return Some(d);
-        }
-    }
-    None
 }
 
 /// Execution state for one table's PEs.
@@ -395,9 +350,7 @@ pub fn scan(
                     let stats = exec.processor.process_block(&data, rules, &exec.ops, &mut results);
                     report.tuples_in += u64::from(stats.tuples_in);
                     report.tuples_out += u64::from(stats.tuples_out);
-                    let (_, t) =
-                        platform.arm.schedule(staged, platform.arm_filter_ns(data.len() as u64));
-                    t
+                    arm_filter(platform, staged, data.len() as u64)
                 }
                 ExecMode::Hardware => {
                     // The fixed-block baseline cannot express partial
@@ -410,23 +363,8 @@ pub fn scan(
                     } else {
                         next_healthy_pe(&exec.pe_failed, exec.pe_servers.len(), &mut driver_rr)
                     };
-                    // Watchdog: a hung PE never raises DONE; the firmware's
-                    // poll times out, the PE is retired for the session and
-                    // the block degrades to the software oracle.
-                    let hang = healthy.is_some() && platform.roll_pe_hang();
-                    if hang {
-                        let d = healthy.expect("hang implies a selected PE");
-                        exec.health.watchdog_trips += 1;
-                        exec.pe_failed[d] = true;
-                        if !exec.resilience.hw_fallback_to_sw {
-                            return Err(NkvError::PeTimeout {
-                                pe: d,
-                                watchdog_ns: exec.resilience.watchdog_ns,
-                            });
-                        }
-                    }
-                    match healthy {
-                        Some(d) if !hang => {
+                    match claim_pe(platform, exec, healthy, !baseline_tail)? {
+                        PeGrant::Hw(d) => {
                             let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
                                 exec,
                                 &mut platform.dram,
@@ -441,43 +379,33 @@ pub fn scan(
                             report.tuples_out += tout;
                             report.reg_writes += w;
                             report.reg_reads += r;
-                            // ARM configures the PE (register writes), then the
-                            // PE streams the block.
-                            let cfg_ns = platform.mmio_cost_ns(w, r);
-                            let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                            platform.trace_reg_access(d as u32, cfg_start, cfg_ns, w, r);
-                            let (pe_start, pe_done) =
-                                exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
-                            platform.trace_pe_job(d as u32, pe_start, pe_done - pe_start, cycles);
-                            // PE load + store traffic on the shared DRAM port.
-                            let _ = platform.dram.timed_transfer(
-                                DramClient::PeLoad,
-                                data.len() as u64,
-                                cfg_done,
-                            );
-                            platform.dram.timed_transfer(
-                                DramClient::PeStore,
-                                bytes_written,
-                                pe_done,
+                            // ARM configures the PE, then the PE streams the
+                            // block; load + store both ride the DRAM port.
+                            schedule_hw_job(
+                                platform,
+                                exec,
+                                d,
+                                staged,
+                                cycles,
+                                w,
+                                r,
+                                Some(data.len() as u64),
+                                Some(bytes_written),
                             )
                         }
-                        _ => {
+                        PeGrant::Sw { hung } => {
                             // Baseline tail block, a just-hung PE, or no
                             // healthy PE left: ARM software path, charged
                             // the watchdog timeout first on a fresh hang.
-                            if !baseline_tail {
-                                exec.health.sw_fallback_blocks += 1;
-                            }
-                            let resume =
-                                if hang { staged + exec.resilience.watchdog_ns } else { staged };
                             let stats =
                                 exec.processor.process_block(&data, rules, &exec.ops, &mut results);
                             report.tuples_in += u64::from(stats.tuples_in);
                             report.tuples_out += u64::from(stats.tuples_out);
-                            let (_, t) = platform
-                                .arm
-                                .schedule(resume, platform.arm_filter_ns(data.len() as u64));
-                            t
+                            arm_filter(
+                                platform,
+                                sw_resume_at(exec, staged, hung),
+                                data.len() as u64,
+                            )
                         }
                     }
                 }
@@ -630,9 +558,7 @@ pub fn scan_aggregate(
                             }
                         }
                     }
-                    let (_, t) =
-                        platform.arm.schedule(staged, platform.arm_filter_ns(data.len() as u64));
-                    t
+                    arm_filter(platform, staged, data.len() as u64)
                 }
                 ExecMode::Hardware => {
                     // Functional result via the shared accumulator; counts
@@ -653,20 +579,8 @@ pub fn scan_aggregate(
                     report.tuples_out += tout;
                     let healthy =
                         next_healthy_pe(&exec.pe_failed, exec.pe_servers.len(), &mut driver_rr);
-                    let hang = healthy.is_some() && platform.roll_pe_hang();
-                    if hang {
-                        let d = healthy.expect("hang implies a selected PE");
-                        exec.health.watchdog_trips += 1;
-                        exec.pe_failed[d] = true;
-                        if !exec.resilience.hw_fallback_to_sw {
-                            return Err(NkvError::PeTimeout {
-                                pe: d,
-                                watchdog_ns: exec.resilience.watchdog_ns,
-                            });
-                        }
-                    }
-                    match healthy {
-                        Some(d) if !hang => {
+                    match claim_pe(platform, exec, healthy, true)? {
+                        PeGrant::Hw(d) => {
                             let (mut w, r) = exec.cfg_io(!configured[d], rules.len());
                             if !configured[d] {
                                 w += 2; // AGG_FIELD + AGG_OP
@@ -678,30 +592,29 @@ pub fn scan_aggregate(
                             report.reg_reads += r;
                             let cycles =
                                 estimate_block_cycles(data.len() as u64, tin, 0, exec.stages);
-                            let cfg_ns = platform.mmio_cost_ns(w, r);
-                            let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                            platform.trace_reg_access(d as u32, cfg_start, cfg_ns, w, r);
-                            let (pe_start, pe_done) =
-                                exec.pe_servers[d].schedule(cfg_done, cycles * timing::PL_CLK_NS);
-                            platform.trace_pe_job(d as u32, pe_start, pe_done - pe_start, cycles);
-                            let _ = platform.dram.timed_transfer(
-                                DramClient::PeLoad,
-                                data.len() as u64,
-                                cfg_done,
-                            );
-                            pe_done
+                            // Aggregates never store: the result stays in a
+                            // register, so the job ends at PE-done.
+                            schedule_hw_job(
+                                platform,
+                                exec,
+                                d,
+                                staged,
+                                cycles,
+                                w,
+                                r,
+                                Some(data.len() as u64),
+                                None,
+                            )
                         }
-                        _ => {
+                        PeGrant::Sw { hung } => {
                             // Hung or exhausted PEs: the ARM re-reduces the
                             // staged block (the accumulator above is already
                             // correct — only time differs).
-                            exec.health.sw_fallback_blocks += 1;
-                            let resume =
-                                if hang { staged + exec.resilience.watchdog_ns } else { staged };
-                            let (_, t) = platform
-                                .arm
-                                .schedule(resume, platform.arm_filter_ns(data.len() as u64));
-                            t
+                            arm_filter(
+                                platform,
+                                sw_resume_at(exec, staged, hung),
+                                data.len() as u64,
+                            )
                         }
                     }
                 }
@@ -752,28 +665,14 @@ pub fn get(
         // Index block read + parse on the ARM (same retry policy as data
         // blocks; the page content is already cached in `sst`).
         if let Some(&page) = sst.index_pages.first() {
-            let mut attempt = 0u32;
-            let idx_done = loop {
-                match platform.flash.read_page(page, t) {
-                    Ok((done, _)) => break done,
-                    Err(e) if e.is_retryable() => {
-                        attempt += 1;
-                        if attempt > exec.resilience.max_read_retries {
-                            exec.health.reads_failed += 1;
-                            return Err(NkvError::RetriesExhausted {
-                                sst_id: sst.id,
-                                block: usize::MAX, // index, not a data block
-                                attempts: attempt,
-                            });
-                        }
-                        exec.health.read_retries += 1;
-                        let backoff = exec.resilience.backoff_base_ns << (attempt - 1).min(16);
-                        exec.health.retry_backoff_ns += backoff;
-                        t += backoff;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            };
+            let idx_done = read_index_page_resilient(
+                platform,
+                &exec.resilience,
+                &mut exec.health,
+                sst.id,
+                page,
+                t,
+            )?;
             let (_, parsed) = platform.arm.schedule(idx_done, 2_000);
             t = parsed;
         }
@@ -809,59 +708,65 @@ pub fn get(
                 // exploit); a retired or freshly hung PE 0 degrades the
                 // search to the ARM, like the SCAN path.
                 let pe_down = exec.pe_failed.first().copied().unwrap_or(false);
-                let hang = !pe_down && platform.roll_pe_hang();
-                if hang {
-                    exec.health.watchdog_trips += 1;
-                    if let Some(f) = exec.pe_failed.first_mut() {
-                        *f = true;
+                let candidate = if pe_down { None } else { Some(0) };
+                match claim_pe(platform, exec, candidate, true)? {
+                    PeGrant::Sw { hung } => {
+                        let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+                        let (_, done) = platform.arm.schedule(
+                            sw_resume_at(exec, staged, hung),
+                            timing::ARM_BLOCK_SEARCH_NS,
+                        );
+                        (rec, done)
                     }
-                    if !exec.resilience.hw_fallback_to_sw {
-                        return Err(NkvError::PeTimeout {
-                            pe: 0,
-                            watchdog_ns: exec.resilience.watchdog_ns,
-                        });
+                    PeGrant::Hw(d) => {
+                        // Key-equality filter on the PE; every GET reconfigures
+                        // the reference value, so no rule caching applies.
+                        let rules =
+                            [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
+                        let mut out = Vec::new();
+                        let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
+                            exec,
+                            &mut platform.dram,
+                            &data,
+                            &rules,
+                            d,
+                            true,
+                            &mut out,
+                        );
+                        report.tuples_in += tin;
+                        report.tuples_out += tout;
+                        report.reg_writes += w;
+                        report.reg_reads += r;
+                        // GET has no PE load phase in the model (the block is
+                        // already staged for the search); only the one-record
+                        // store rides the DRAM port.
+                        let done = schedule_hw_job(
+                            platform,
+                            exec,
+                            d,
+                            staged,
+                            cycles,
+                            w,
+                            r,
+                            None,
+                            Some(bytes_written),
+                        );
+                        let rec = if out.is_empty() {
+                            None
+                        } else {
+                            let n = lsm.record_bytes();
+                            Some(
+                                out.get(..n)
+                                    .ok_or(NkvError::ResultDecode {
+                                        offset: 0,
+                                        need: n,
+                                        len: out.len(),
+                                    })?
+                                    .to_vec(),
+                            )
+                        };
+                        (rec, done)
                     }
-                }
-                if pe_down || hang {
-                    exec.health.sw_fallback_blocks += 1;
-                    let resume = if hang { staged + exec.resilience.watchdog_ns } else { staged };
-                    let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
-                    let (_, done) = platform.arm.schedule(resume, timing::ARM_BLOCK_SEARCH_NS);
-                    (rec, done)
-                } else {
-                    // Key-equality filter on the PE; every GET reconfigures
-                    // the reference value, so no rule caching applies.
-                    let rules = [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
-                    let mut out = Vec::new();
-                    let (tin, tout, cycles, w, r, bytes_written) =
-                        hw_filter_block(exec, &mut platform.dram, &data, &rules, 0, true, &mut out);
-                    report.tuples_in += tin;
-                    report.tuples_out += tout;
-                    report.reg_writes += w;
-                    report.reg_reads += r;
-                    let cfg_ns = platform.mmio_cost_ns(w, r);
-                    let (cfg_start, cfg_done) = platform.arm.schedule(staged, cfg_ns);
-                    platform.trace_reg_access(0, cfg_start, cfg_ns, w, r);
-                    let (pe_start, pe_done) =
-                        exec.pe_servers[0].schedule(cfg_done, cycles * timing::PL_CLK_NS);
-                    platform.trace_pe_job(0, pe_start, pe_done - pe_start, cycles);
-                    let done =
-                        platform.dram.timed_transfer(DramClient::PeStore, bytes_written, pe_done);
-                    let rec = if out.is_empty() {
-                        None
-                    } else {
-                        let n = lsm.record_bytes();
-                        Some(
-                            out.get(..n)
-                                .ok_or(NkvError::ResultDecode {
-                                    offset: 0,
-                                    need: n,
-                                    len: out.len(),
-                                })?
-                                .to_vec(),
-                        )
-                    };
-                    (rec, done)
                 }
             }
         };

@@ -42,6 +42,7 @@
 //! natively instead of wrapping them in opaque blobs.
 
 pub mod db;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod lsm;
