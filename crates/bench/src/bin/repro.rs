@@ -5,6 +5,7 @@
 //! cargo run --release -p bench --bin repro -- fig7a fig7b table1   # any subset, in order
 //! cargo run --release -p bench --bin repro -- loadgen [--clients 1,4,16] \
 //!     [--depth D] [--ops N] [--seed S] [--scale F]
+//! cargo run --release -p bench --bin repro -- explain refs year>=2010 --backend hybrid
 //! ```
 //!
 //! Simulated device times come from the calibrated `cosmos-sim` model;
@@ -25,6 +26,9 @@ use std::env;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explain") {
+        return explain(&args[1..]);
+    }
     let mut cmds: Vec<&str> = Vec::new();
     let mut scale = 1.0 / 8.0;
     let mut scale_set = false;
@@ -105,12 +109,39 @@ fn main() {
     }
 }
 
+/// `repro explain <table> <query...> [--backend sw|hw|hybrid]` — no
+/// dataset, no simulation: lower the query and print the plan.
+fn explain(args: &[String]) {
+    let mut backend = "hw".to_string();
+    let mut pos: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--backend" {
+            backend = iter.next().cloned().unwrap_or_else(|| die("--backend needs a value"));
+        } else if a.starts_with("--") {
+            die(&format!("unknown flag `{a}`"));
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    if pos.is_empty() {
+        die("explain needs a table: explain <table> <query...>");
+    }
+    let table = pos.remove(0);
+    match bench::explain::explain(&table, &pos, &backend) {
+        Ok(text) => print!("{text}"),
+        Err(e) => die(&e),
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
          \x20            [--scale F | --full]\n\
-         \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]  (loadgen)"
+         \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]  (loadgen)\n\
+         \x20      repro explain <table> <query...> [--backend sw|hw|hybrid]\n\
+         \x20            e.g. explain refs year>=2010 --backend hw; explain papers get 42"
     );
     std::process::exit(2)
 }

@@ -12,15 +12,19 @@
 //! * [`figures::ablations`] — design-choice ablations called out in
 //!   DESIGN.md (PE count sweep, flexible vs fixed store units);
 //! * [`loadgen::loadgen`] — beyond-paper: closed-loop multi-client
-//!   throughput/latency sweep through the NVMe queue engine.
+//!   throughput/latency sweep through the NVMe queue engine, plus the
+//!   parallel-PE scan sweep;
+//! * [`explain::explain`] — the `repro explain` subcommand: parse a
+//!   query, lower it through the planner, render the physical plan.
 //!
 //! Simulated times come from the calibrated `cosmos-sim` platform; see
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 pub mod dataset;
+pub mod explain;
 pub mod figures;
 pub mod harness;
 pub mod loadgen;
 
 pub use dataset::{build_db, Dataset, DbKind};
-pub use loadgen::{LoadgenConfig, LoadgenFigure, LoadgenPoint};
+pub use loadgen::{LoadgenConfig, LoadgenFigure, LoadgenPoint, ParallelSweepPoint};

@@ -17,9 +17,10 @@
 use crate::dataset::{build_db, DbKind};
 use cosmos_sim::ns_to_secs;
 use ndp_pe::oracle::FilterRule;
-use ndp_workload::spec::paper_lanes;
+use ndp_workload::spec::{paper_lanes, ref_lanes};
 use ndp_workload::{PaperGen, PubGraphConfig, SplitMix64};
 use nkv::queue::{ClientScript, QueueRunConfig, QueuedOp};
+use nkv::ExecMode;
 
 /// Parameters of one loadgen sweep.
 #[derive(Debug, Clone)]
@@ -58,7 +59,8 @@ pub struct LoadgenPoint {
     pub span_s: f64,
     /// Sustained throughput over the run.
     pub ops_per_sec: f64,
-    /// `LatencyHistogram::percentile_summary` of submit→complete times.
+    /// `LatencyHistogram::tail_summary` of submit→complete times
+    /// (p50/p95/p99/p99.9/max).
     pub latency: String,
     /// Full-queue admission stalls across all pairs.
     pub full_stalls: u64,
@@ -66,11 +68,27 @@ pub struct LoadgenPoint {
     pub max_inflight: u64,
 }
 
+/// One row of the parallel-PE scan sweep (`streams == 0` is the legacy
+/// serial dispatch).
+#[derive(Debug, Clone)]
+pub struct ParallelSweepPoint {
+    pub streams: usize,
+    /// Simulated device time of one full-table SCAN, milliseconds.
+    pub scan_ms: f64,
+    /// Records matched (identical across rows — asserted).
+    pub matched: u64,
+    /// Speedup relative to the 1-stream row (`t_1 / t_self`).
+    pub speedup: f64,
+}
+
 /// The whole sweep.
 #[derive(Debug, Clone)]
 pub struct LoadgenFigure {
     pub cfg: LoadgenConfig,
     pub points: Vec<LoadgenPoint>,
+    /// Parallel-PE scan sweep over the refs table (the paper's "1..N
+    /// filtering units"), same scale and dataset as the client sweep.
+    pub sweep: Vec<ParallelSweepPoint>,
 }
 
 /// Build the seeded script for one client: ~90 % GET, ~8 % PUT
@@ -115,12 +133,48 @@ pub fn loadgen(cfg: &LoadgenConfig) -> LoadgenFigure {
             ops: report.ops(),
             span_s: ns_to_secs(report.finished_ns - report.started_ns),
             ops_per_sec: report.throughput_ops_per_sec(),
-            latency: report.latency.percentile_summary(),
+            latency: report.latency.tail_summary(),
             full_stalls: queue.full_stalls,
             max_inflight: queue.max_inflight,
         });
     }
-    LoadgenFigure { cfg: cfg.clone(), points }
+    let sweep = parallel_sweep(cfg.scale, &[0, 1, 2, 4]);
+    LoadgenFigure { cfg: cfg.clone(), points, sweep }
+}
+
+/// Sweep the refs-table SCAN over parallel PE job-stream counts on one
+/// freshly built device (0 = the legacy serial dispatch). Every row must
+/// match the same records — the plans only reshape the DES timeline —
+/// and that invariant is asserted here, so the smoke diff doubles as an
+/// equivalence gate.
+pub fn parallel_sweep(scale: f64, streams: &[usize]) -> Vec<ParallelSweepPoint> {
+    let mut ds = build_db(scale, DbKind::Ours);
+    let rules = [FilterRule { lane: ref_lanes::YEAR, op_code: 4 /* ge */, value: 2000 }];
+    let mut rows = Vec::with_capacity(streams.len());
+    let mut baseline: Option<Vec<u8>> = None;
+    for &s in streams {
+        ds.db.set_parallel_pes("refs", s).expect("refs has enough PEs");
+        let summary = ds.db.scan("refs", &rules, ExecMode::Hardware).expect("scan succeeds");
+        match &baseline {
+            None => baseline = Some(summary.records.clone()),
+            Some(b) => assert_eq!(
+                *b, summary.records,
+                "parallel plans must match the serial records byte-for-byte"
+            ),
+        }
+        rows.push(ParallelSweepPoint {
+            streams: s,
+            scan_ms: summary.report.sim_ns as f64 / 1e6,
+            matched: summary.count,
+            speedup: 0.0,
+        });
+    }
+    ds.db.set_parallel_pes("refs", 0).expect("reset to serial");
+    let t1 = rows.iter().find(|r| r.streams == 1).map(|r| r.scan_ms);
+    for r in &mut rows {
+        r.speedup = t1.map_or(0.0, |t| t / r.scan_ms);
+    }
+    rows
 }
 
 /// Render the figure as the stable text table the `repro` binary prints
@@ -146,6 +200,18 @@ pub fn render(fig: &LoadgenFigure) -> String {
             p.full_stalls,
             p.latency
         );
+    }
+    if !fig.sweep.is_empty() {
+        let _ = writeln!(out, "  parallel-PE sweep (refs SCAN, year >= 2000):");
+        let _ = writeln!(out, "  streams   scan(ms)   matched   speedup");
+        for r in &fig.sweep {
+            let label = if r.streams == 0 { "serial".to_string() } else { r.streams.to_string() };
+            let _ = writeln!(
+                out,
+                "  {:>7} {:10.3} {:9} {:8.2}x",
+                label, r.scan_ms, r.matched, r.speedup
+            );
+        }
     }
     out
 }
@@ -209,5 +275,26 @@ mod tests {
         let b = render(&loadgen(&cfg));
         assert_eq!(a, b);
         assert!(a.contains("clients"), "{a}");
+        assert!(a.contains("p99.9="), "latency column reports the p99.9 tail: {a}");
+        assert!(a.contains("parallel-PE sweep"), "{a}");
+    }
+
+    #[test]
+    fn parallel_sweep_speeds_up_and_matches_serial() {
+        let rows = parallel_sweep(SCALE, &[0, 1, 4]);
+        assert_eq!(rows.len(), 3);
+        let serial = &rows[0];
+        let one = &rows[1];
+        let four = &rows[2];
+        assert_eq!(serial.matched, one.matched, "plans only reshape the timeline");
+        assert_eq!(serial.matched, four.matched);
+        assert!(
+            four.scan_ms < 0.8 * one.scan_ms,
+            "4 job streams must clearly beat 1: {:.3} ms vs {:.3} ms",
+            four.scan_ms,
+            one.scan_ms
+        );
+        assert!(four.speedup > 1.25, "speedup column is t1/t: {}", four.speedup);
+        assert!((one.speedup - 1.0).abs() < 1e-9);
     }
 }

@@ -227,6 +227,20 @@ impl CosmosPlatform {
         self.dram.set_backfill(on);
     }
 
+    /// Multi-PE job dispatch: a parallel scan plan expands several
+    /// per-PE job chains that overlap in simulated time but are walked
+    /// sequentially in host order, so every shared timeline must accept
+    /// out-of-order arrivals while the chains are expanded — the same
+    /// gap-aware backfill the queue engine uses. The off-switch is a
+    /// no-op while queues are enabled (the queue run owns the mode and
+    /// restores it when it ends).
+    pub fn set_parallel_dispatch(&mut self, on: bool) {
+        if !on && self.queues.is_some() {
+            return;
+        }
+        self.set_backfill(on);
+    }
+
     /// The queue pairs, when enabled.
     pub fn queues(&self) -> Option<&NvmeQueues> {
         self.queues.as_ref()

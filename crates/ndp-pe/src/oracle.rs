@@ -92,6 +92,26 @@ impl OpTable {
         }
     }
 
+    /// Human-readable symbol of operator `code` (explain/debug
+    /// rendering). Encodings are per-configuration, so there is no
+    /// global code→symbol map; unknown codes print as `op#N`.
+    pub fn symbol(&self, code: u32) -> String {
+        match self.standard.get(code as usize) {
+            Some(Some(op)) => match op {
+                CmpOp::Nop => "nop",
+                CmpOp::Ne => "!=",
+                CmpOp::Eq => "==",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+            }
+            .to_string(),
+            _ if self.custom.contains_key(&code) => format!("custom#{code}"),
+            _ => format!("op#{code}"),
+        }
+    }
+
     /// Evaluate operator `code` on `(element, reference)` of type `prim`.
     pub fn eval(&self, code: u32, prim: PrimTy, element: u64, reference: u64) -> bool {
         if let Some(Some(op)) = self.standard.get(code as usize) {
@@ -222,6 +242,26 @@ impl BlockProcessor {
     /// Output tuple size in bytes.
     pub fn out_tuple_bytes(&self) -> usize {
         self.out_tuple_bytes
+    }
+
+    /// Whether the transformation is the identity on the input layout:
+    /// output tuples are byte-for-byte the input tuples. Post-PE
+    /// (residual) predicate evaluation over the output stream is only
+    /// meaningful in that case — the input lanes still exist there.
+    pub fn identity_transform(&self) -> bool {
+        if self.out_tuple_bytes != self.in_codec.tuple_bytes() {
+            return false;
+        }
+        let mut covered = vec![false; self.out_tuple_bytes];
+        for &(src, dst, len) in &self.byte_moves {
+            if src != dst {
+                return false;
+            }
+            for c in &mut covered[dst..dst + len] {
+                *c = true;
+            }
+        }
+        covered.iter().all(|&c| c)
     }
 
     /// Raw lane value of `tuple` (packed bytes), zero-extended like the
@@ -396,6 +436,30 @@ mod tests {
         let rules = [FilterRule { lane: 7, op_code: cfg.op_code("eq").unwrap(), value: 1 }];
         let mut out = Vec::new();
         assert_eq!(bp.process_block(&input, &rules, &ops, &mut out).tuples_out, 0);
+    }
+
+    #[test]
+    fn identity_transform_detects_projections() {
+        // Point3D → Point2D drops a field: not the identity.
+        let cfg = elaborate(&parse(POINTS).unwrap(), "P").unwrap();
+        assert!(!BlockProcessor::new(&cfg).identity_transform());
+        // A → A with the default mapping copies every byte in place.
+        let id = "
+            /* @autogen define parser I with input = A, output = A */
+            typedef struct { uint32_t x, y; } A;
+        ";
+        let cfg = elaborate(&parse(id).unwrap(), "I").unwrap();
+        assert!(BlockProcessor::new(&cfg).identity_transform());
+    }
+
+    #[test]
+    fn op_symbols_render_per_configuration() {
+        let cfg = elaborate(&parse(POINTS).unwrap(), "P").unwrap();
+        let ops = OpTable::from_config(&cfg);
+        assert_eq!(ops.symbol(cfg.op_code("nop").unwrap()), "nop");
+        assert_eq!(ops.symbol(cfg.op_code("ge").unwrap()), ">=");
+        assert_eq!(ops.symbol(cfg.op_code("eq").unwrap()), "==");
+        assert_eq!(ops.symbol(999), "op#999");
     }
 
     #[test]

@@ -42,11 +42,31 @@ pub struct FilterJob {
     pub aggregate: Option<(AggOp, u32)>,
 }
 
+impl FilterJob {
+    /// Point an existing job descriptor at a new source block, keeping
+    /// rules/destination/capacity. Firmware reuses one descriptor per
+    /// stream this way instead of rebuilding it per block, which is what
+    /// keeps the driver's rule cache warm across a scan.
+    pub fn retarget(&mut self, src: u64, len: u32) {
+        self.src = src;
+        self.len = len;
+    }
+}
+
 /// Register-access counters (inputs to the platform timing model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     pub reg_writes: u64,
     pub reg_reads: u64,
+}
+
+/// An in-flight job started with [`PeDriver::launch`]. Consumed by
+/// [`PeDriver::complete`]; carries the launch-time register-access cost
+/// so the completed [`JobResult`] accounts for the whole job.
+#[derive(Debug)]
+#[must_use = "a launched job must be completed"]
+pub struct JobHandle {
+    launch_io: IoStats,
 }
 
 /// Result of a completed job.
@@ -220,6 +240,19 @@ impl<P: PeDevice> PeDriver<P> {
     pub fn filter_sync(&mut self, mem: &mut dyn MemBus, job: &FilterJob) -> JobResult {
         let io = self.filter_async(job);
         self.wait_until_done(mem, io)
+    }
+
+    /// Launch a job and hand back an opaque in-flight handle (typed
+    /// wrapper over [`filter_async`](Self::filter_async)'s launch-cost
+    /// accounting, so callers cannot mix up the launch IoStats of two
+    /// overlapping jobs).
+    pub fn launch(&mut self, job: &FilterJob) -> JobHandle {
+        JobHandle { launch_io: self.filter_async(job) }
+    }
+
+    /// Complete a job previously started with [`launch`](Self::launch).
+    pub fn complete(&mut self, mem: &mut dyn MemBus, handle: JobHandle) -> JobResult {
+        self.wait_until_done(mem, handle.launch_io)
     }
 
     /// Forget the cached filter configuration (e.g. after device reset).
@@ -472,6 +505,49 @@ mod tests {
         assert_eq!(drv.perf_io.reg_writes, 1);
         let cleared = drv.read_perf_counters();
         assert_eq!(cleared, PerfReadout { stage_drops: vec![0], ..PerfReadout::default() });
+    }
+
+    #[test]
+    fn retargeted_job_reuses_the_descriptor_and_rule_cache() {
+        let (mut drv, mut mem, ge) = setup();
+        // Second block of refs further up in memory.
+        let second = ref_block(300);
+        mem.write_bytes(0x20000, &second);
+        let mut job = FilterJob {
+            src: 0,
+            len: 500 * 20,
+            dst: 0x40000,
+            capacity: 1 << 18,
+            rules: vec![FilterRule { lane: 2, op_code: ge, value: 50 }],
+            aggregate: None,
+        };
+        let first = drv.filter_sync(&mut mem, &job);
+        assert_eq!(first.block.tuples_in, 500);
+        // Stream the next block through the same descriptor.
+        job.retarget(0x20000, 300 * 20);
+        let next = drv.filter_sync(&mut mem, &job);
+        assert_eq!(next.block.tuples_in, 300);
+        assert_eq!(next.tuples_out, 150);
+        // Rules were cached: only addresses/len/capacity/start rewritten.
+        assert_eq!(next.io.reg_writes, 7);
+    }
+
+    #[test]
+    fn launch_complete_equals_filter_sync() {
+        let (mut drv, mut mem, ge) = setup();
+        let job = FilterJob {
+            src: 0,
+            len: 500 * 20,
+            dst: 0x40000,
+            capacity: 1 << 18,
+            rules: vec![FilterRule { lane: 2, op_code: ge, value: 50 }],
+            aggregate: None,
+        };
+        let handle = drv.launch(&job);
+        let res = drv.complete(&mut mem, handle);
+        drv.invalidate_config_cache();
+        let sync = drv.filter_sync(&mut mem, &job);
+        assert_eq!(res, sync);
     }
 
     #[test]

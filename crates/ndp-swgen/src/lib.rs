@@ -20,5 +20,5 @@
 pub mod driver;
 pub mod header;
 
-pub use driver::{DriverProfile, FilterJob, IoStats, JobResult, PeDriver, PerfReadout};
+pub use driver::{DriverProfile, FilterJob, IoStats, JobHandle, JobResult, PeDriver, PerfReadout};
 pub use header::generate_header;

@@ -6,11 +6,13 @@
 //! showcase of the multi-stage filtering extension). Every operation
 //! advances the device's simulated clock and returns a [`SimReport`].
 
+use crate::engine::ParallelScanStats;
 use crate::error::{NkvError, NkvResult};
-use crate::exec::{self, ExecMode, HealthCounters, ResilienceConfig, SimReport, TableExec};
+use crate::exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport, TableExec};
 use crate::lsm::{LsmConfig, LsmTree};
 use crate::metrics::{fmt_ns, DeviceStats, MetricsRegistry, OpKind};
 use crate::placement::PageAllocator;
+use crate::plan::{Backend, LogicalOp, PhysOp, PhysicalPlan, PlanOutcome};
 use crate::sst::SstBuilder;
 use cosmos_sim::faults::{DramFaultStats, FlashFaultStats};
 use cosmos_sim::{CosmosConfig, CosmosPlatform, Server, SimNs, TraceEvent};
@@ -45,6 +47,12 @@ pub struct TableConfig {
     /// Device-side fault policy (retry budget, PE watchdog, HW→SW
     /// degradation switch).
     pub resilience: ResilienceConfig,
+    /// Parallel PE job streams a hardware scan fans out to: the scan's
+    /// blocks are partitioned by flash-channel group, one strictly
+    /// serial stream per worker, merged deterministically. `0` (the
+    /// default) keeps the legacy serial dispatch. Must not exceed
+    /// `n_pes`.
+    pub parallel_pes: usize,
 }
 
 impl TableConfig {
@@ -58,6 +66,7 @@ impl TableConfig {
             unique_keys: true,
             lsm: LsmConfig::default(),
             resilience: ResilienceConfig::default(),
+            parallel_pes: 0,
         }
     }
 }
@@ -338,6 +347,13 @@ impl NkvDb {
 
     /// Create a table driven by the given PE configuration.
     pub fn create_table(&mut self, name: &str, cfg: TableConfig) -> NkvResult<()> {
+        if cfg.parallel_pes > cfg.n_pes.max(1) {
+            return Err(NkvError::Config(format!(
+                "table `{name}`: parallel_pes = {} exceeds the table's {} PE(s)",
+                cfg.parallel_pes,
+                cfg.n_pes.max(1)
+            )));
+        }
         let record_bytes = cfg.pe.input.tuple_bytes() as usize;
         let processor = BlockProcessor::new(&cfg.pe);
         let ops = OpTable::from_config(&cfg.pe);
@@ -381,6 +397,8 @@ impl NkvDb {
                 resilience: cfg.resilience,
                 health: HealthCounters::default(),
                 pe_failed: vec![false; n],
+                parallel_pes: cfg.parallel_pes,
+                last_parallel_scan: None,
             },
         };
         self.tables.insert(name.to_string(), table);
@@ -525,11 +543,29 @@ impl NkvDb {
         mode: ExecMode,
     ) -> NkvResult<(Option<Vec<u8>>, SimReport)> {
         let now = self.clock;
-        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
-        let (rec, report) = exec::get(&mut self.platform, &t.lsm, &mut t.exec, key, mode, now)?;
+        let (rec, report) = self.get_at(table, key, mode, now)?;
         self.clock += report.sim_ns;
         self.observe(OpKind::Get, report.sim_ns, rec.as_ref().map_or(0, |r| r.len() as u64));
         Ok((rec, report))
+    }
+
+    /// Point lookup as of simulated time `now` (no clock/metrics side
+    /// effects; shared by the serial path and the queued scheduler).
+    pub(crate) fn get_at(
+        &mut self,
+        table: &str,
+        key: u64,
+        mode: ExecMode,
+        now: SimNs,
+    ) -> NkvResult<(Option<Vec<u8>>, SimReport)> {
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let plan = PhysicalPlan::lower(
+            &LogicalOp::Get { key },
+            Backend::from(mode),
+            &t.exec.caps(),
+            table,
+        )?;
+        crate::engine::run_get(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)
     }
 
     /// Full SCAN with a chain of value predicates.
@@ -540,24 +576,29 @@ impl NkvDb {
         mode: ExecMode,
     ) -> NkvResult<ScanSummary> {
         let now = self.clock;
+        let summary = self.scan_at(table, rules, mode, now)?;
+        self.clock += summary.report.sim_ns;
+        self.observe(OpKind::Scan, summary.report.sim_ns, summary.report.result_bytes);
+        Ok(summary)
+    }
+
+    /// SCAN as of simulated time `now` (no clock/metrics side effects;
+    /// shared by the serial path and the queued scheduler). Lowers the
+    /// rules through the planner, so validation errors are identical on
+    /// every path.
+    pub(crate) fn scan_at(
+        &mut self,
+        table: &str,
+        rules: &[FilterRule],
+        mode: ExecMode,
+        now: SimNs,
+    ) -> NkvResult<ScanSummary> {
         let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
-        for r in rules {
-            if r.lane as usize >= t.exec.processor.lanes() {
-                return Err(NkvError::InvalidLane { table: table.to_string(), lane: r.lane });
-            }
-        }
-        if mode == ExecMode::Hardware && rules.len() > t.exec.stages as usize {
-            return Err(NkvError::Config(format!(
-                "predicate chain of {} rules exceeds the PE's {} filtering stage(s)",
-                rules.len(),
-                t.exec.stages
-            )));
-        }
+        let op = LogicalOp::Scan { rules: rules.to_vec() };
+        let plan = PhysicalPlan::lower(&op, Backend::from(mode), &t.exec.caps(), table)?;
         let (records, report) =
-            exec::scan(&mut self.platform, &t.lsm, &mut t.exec, rules, mode, now)?;
-        self.clock += report.sim_ns;
+            crate::engine::run_scan(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)?;
         let count = records.len() as u64 / t.exec.processor.out_tuple_bytes().max(1) as u64;
-        self.observe(OpKind::Scan, report.sim_ns, report.result_bytes);
         Ok(ScanSummary { records, count, report })
     }
 
@@ -575,25 +616,99 @@ impl NkvDb {
     ) -> NkvResult<(u64, bool, SimReport)> {
         let now = self.clock;
         let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
-        if mode == ExecMode::Hardware && !t.exec.aggregates.contains(&agg) {
-            return Err(NkvError::Config(format!(
-                "table `{table}`'s PEs were not generated with the `{}` aggregate",
-                agg.name()
-            )));
-        }
-        let out = exec::scan_aggregate(
-            &mut self.platform,
-            &t.lsm,
-            &mut t.exec,
-            rules,
-            agg,
-            lane,
-            mode,
-            now,
-        )?;
+        let op = LogicalOp::ScanAggregate { rules: rules.to_vec(), agg, lane };
+        let plan = PhysicalPlan::lower(&op, Backend::from(mode), &t.exec.caps(), table)?;
+        let out =
+            crate::engine::run_scan_aggregate(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)?;
         self.clock += out.2.sim_ns;
         self.observe(OpKind::Scan, out.2.sim_ns, out.2.result_bytes);
         Ok(out)
+    }
+
+    /// Lower a logical operation against a table into its physical plan
+    /// (without executing it).
+    pub fn plan(&self, table: &str, op: &LogicalOp, backend: Backend) -> NkvResult<PhysicalPlan> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        PhysicalPlan::lower(op, backend, &t.exec.caps(), table)
+    }
+
+    /// `EXPLAIN`: render the physical plan a logical operation lowers to,
+    /// using the table's operator symbols.
+    pub fn explain(&self, table: &str, op: &LogicalOp, backend: Backend) -> NkvResult<String> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let plan = PhysicalPlan::lower(op, backend, &t.exec.caps(), table)?;
+        Ok(plan.explain(table, &t.exec.ops))
+    }
+
+    /// Plan and execute a logical operation on the chosen backend,
+    /// advancing the device clock. This is the planner-first face of
+    /// [`get`](Self::get)/[`scan`](Self::scan)/
+    /// [`scan_aggregate`](Self::scan_aggregate) and the only entry point
+    /// for the [`Backend::Hybrid`] pushdown split.
+    pub fn execute(
+        &mut self,
+        table: &str,
+        op: &LogicalOp,
+        backend: Backend,
+    ) -> NkvResult<PlanOutcome> {
+        let now = self.clock;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let plan = PhysicalPlan::lower(op, backend, &t.exec.caps(), table)?;
+        match plan.op {
+            PhysOp::PointLookup { .. } => {
+                let (record, report) =
+                    crate::engine::run_get(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)?;
+                self.clock += report.sim_ns;
+                self.observe(
+                    OpKind::Get,
+                    report.sim_ns,
+                    record.as_ref().map_or(0, |r| r.len() as u64),
+                );
+                Ok(PlanOutcome::Point { record, report })
+            }
+            PhysOp::FilterScan => {
+                let (records, report) =
+                    crate::engine::run_scan(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)?;
+                let count = records.len() as u64 / t.exec.processor.out_tuple_bytes().max(1) as u64;
+                self.clock += report.sim_ns;
+                self.observe(OpKind::Scan, report.sim_ns, report.result_bytes);
+                Ok(PlanOutcome::Records { records, count, report })
+            }
+            PhysOp::AggregateScan { .. } => {
+                let (value, any, report) = crate::engine::run_scan_aggregate(
+                    &mut self.platform,
+                    &t.lsm,
+                    &mut t.exec,
+                    &plan,
+                    now,
+                )?;
+                self.clock += report.sim_ns;
+                self.observe(OpKind::Scan, report.sim_ns, report.result_bytes);
+                Ok(PlanOutcome::Aggregate { value, any, report })
+            }
+        }
+    }
+
+    /// Change how many parallel PE job streams a table's hardware scans
+    /// fan out to (0 = legacy serial dispatch). Bounded by the table's
+    /// PE count, like [`TableConfig::parallel_pes`] at creation.
+    pub fn set_parallel_pes(&mut self, table: &str, n: usize) -> NkvResult<()> {
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let pes = t.exec.pe_servers.len().max(1);
+        if n > pes {
+            return Err(NkvError::Config(format!(
+                "table `{table}`: parallel_pes = {n} exceeds the table's {pes} PE(s)"
+            )));
+        }
+        t.exec.parallel_pes = n;
+        Ok(())
+    }
+
+    /// Statistics of the table's most recent parallel scan phase
+    /// (`None` if the last scan ran the serial dispatch).
+    pub fn parallel_scan_stats(&self, table: &str) -> NkvResult<Option<ParallelScanStats>> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        Ok(t.exec.last_parallel_scan.clone())
     }
 
     /// RANGE_SCAN on the key: `lo <= key < hi`, expressed as a 2-stage

@@ -1,32 +1,21 @@
-//! The hybrid NDP execution engine.
+//! The hybrid NDP execution facade.
 //!
 //! "For both operations the execution is implemented in a hybrid way,
 //! where the software executes a very general algorithm and exploits the
 //! hardware whenever datablocks have to be filtered or transformed"
-//! (paper, Sec. V). This module implements that firmware algorithm for
-//! GET and SCAN against the simulated platform:
+//! (paper, Sec. V). This module holds the *state* of that firmware
+//! algorithm — [`TableExec`], the per-table executor with its PEs,
+//! drivers, fault policy and health counters — plus the legacy
+//! free-function entry points ([`scan`], [`scan_aggregate`], [`get`]).
 //!
-//! * **Software mode** runs the shared byte-level oracle on the ARM core
-//!   (with the calibrated per-byte cost);
-//! * **Hardware mode** stages blocks in DRAM and dispatches them to the
-//!   PEs through the *generated driver* (`ndp-swgen`), charging the
-//!   register-access configuration overhead that makes GET not profit
-//!   from acceleration.
-//!
-//! Hardware filtering supports two fidelities: `cycle_accurate` drives
-//! the full tick-level PE model through the driver for every block;
-//! the fast path computes identical results with the byte oracle and the
-//! *validated* analytic cycle estimator (`ndp_pe::estimate_block_cycles`).
-//! Tests assert both fidelities agree on results, counts and (within
-//! tolerance) time.
-//!
-//! SCAN correctness over a multi-version LSM uses *post-filter
-//! reconciliation*: every component is scanned and filtered
-//! independently (that is what the PEs can do), then a matched record is
-//! dropped iff any strictly newer component contains or tombstones its
-//! key — checked against memtable, tombstone lists and per-SST bloom
-//! filters, with a confirming block read on bloom hits. The result
-//! equals "newest version, if it matches the predicate".
+//! The execution loops themselves live in [`crate::engine`], driven by
+//! an explicit [`crate::plan::PhysicalPlan`]; the functions here lower
+//! the legacy `(rules, mode)` calling convention into a plan and
+//! delegate. `ExecMode::Software` runs the shared byte-level oracle on
+//! the ARM core; `ExecMode::Hardware` stages blocks in DRAM and
+//! dispatches them to the PEs through the *generated driver*
+//! (`ndp-swgen`), in either fidelity (`cycle_accurate` tick-level model
+//! or the validated analytic fast path).
 //!
 //! # Resilience
 //!
@@ -36,31 +25,25 @@
 //! * **retry with backoff** — transient page-read failures are retried a
 //!   bounded number of times, each attempt delayed by an exponentially
 //!   growing amount of *simulated* time; exhaustion surfaces as the typed
-//!   [`NkvError::RetriesExhausted`];
+//!   [`NkvError::RetriesExhausted`](crate::error::NkvError::RetriesExhausted);
 //! * **watchdog + HW→SW degradation** — if a PE never raises DONE, the
 //!   firmware's DONE poll times out after `watchdog_ns`, the PE is marked
 //!   failed for the rest of the session, and the block is re-processed by
 //!   the ARM software oracle (results stay identical, only time is lost).
 //!   With `hw_fallback_to_sw` disabled the op fails with
-//!   [`NkvError::PeTimeout`] instead;
+//!   [`NkvError::PeTimeout`](crate::error::NkvError::PeTimeout) instead;
 //! * **health accounting** — every retry, watchdog trip and fallback is
 //!   counted in [`HealthCounters`], surfaced device-wide through
 //!   `NkvDb::health_report`.
 
-use crate::engine::{
-    arm_filter, claim_pe, next_healthy_pe, read_block_resilient, read_index_page_resilient,
-    schedule_hw_job, sw_resume_at, PeGrant,
-};
-use crate::error::{NkvError, NkvResult};
+use crate::engine::ParallelScanStats;
+use crate::error::NkvResult;
 use crate::lsm::LsmTree;
-use crate::memtable::Entry;
-use crate::sst::{search_block, SstMeta};
-use cosmos_sim::dram::DramClient;
+use crate::plan::{PhysicalPlan, PlanCaps};
 use cosmos_sim::{timing, CosmosPlatform, Server, SimNs};
 use ndp_pe::oracle::{BlockProcessor, FilterRule, OpTable};
-use ndp_pe::pipeline::estimate_block_cycles;
 use ndp_pe::{MemBus, PeDevice};
-use ndp_swgen::{DriverProfile, FilterJob, PeDriver};
+use ndp_swgen::{DriverProfile, PeDriver};
 
 /// Where filtering runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,10 +89,6 @@ impl MemBus for DramBus<'_> {
     }
 }
 
-/// Per-driver DRAM staging layout: input buffer then output buffer.
-const STAGE_STRIDE: u64 = 256 * 1024;
-const STAGE_OUT_OFF: u64 = 128 * 1024;
-
 /// Device-side fault policy of one table's executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResilienceConfig {
@@ -123,7 +102,7 @@ pub struct ResilienceConfig {
     pub watchdog_ns: SimNs,
     /// Degrade a hung PE's work to the ARM software oracle (results stay
     /// identical) instead of failing the operation with
-    /// [`NkvError::PeTimeout`].
+    /// [`NkvError::PeTimeout`](crate::error::NkvError::PeTimeout).
     pub hw_fallback_to_sw: bool,
 }
 
@@ -188,6 +167,12 @@ pub struct TableExec {
     /// PEs declared hung by the watchdog (skipped until
     /// [`TableExec::reset_failed_pes`]).
     pub pe_failed: Vec<bool>,
+    /// Parallel PE job streams a hardware scan fans out to (0 = the
+    /// legacy serial dispatch; see `crate::plan`).
+    pub parallel_pes: usize,
+    /// Statistics of the most recent parallel scan phase (None after a
+    /// serial scan).
+    pub last_parallel_scan: Option<ParallelScanStats>,
 }
 
 impl TableExec {
@@ -202,7 +187,19 @@ impl TableExec {
         self.pe_failed.iter().filter(|&&f| f).count()
     }
 
-    fn cfg_io(&self, first_block: bool, rules: usize) -> (u64, u64) {
+    /// Planner-visible capabilities of this table's executor.
+    pub fn caps(&self) -> PlanCaps {
+        PlanCaps {
+            stages: self.stages,
+            lanes: self.processor.lanes(),
+            n_pes: self.pe_servers.len(),
+            parallel_pes: self.parallel_pes,
+            aggregates: self.aggregates.clone(),
+            identity_transform: self.processor.identity_transform(),
+        }
+    }
+
+    pub(crate) fn cfg_io(&self, first_block: bool, rules: usize) -> (u64, u64) {
         // Mirrors the PeDriver protocol: rule registers are written once
         // per scan (cached), addresses/len/start per block.
         let per_rule = match self.profile {
@@ -222,69 +219,13 @@ impl TableExec {
     }
 }
 
-/// One block's worth of hardware filtering (shared by GET and SCAN).
-/// Returns `(results, tuples_in, tuples_out, pe_cycles, io_writes,
-/// io_reads, bytes_written)`.
-#[allow(clippy::too_many_arguments)]
-fn hw_filter_block(
-    exec: &mut TableExec,
-    dram: &mut cosmos_sim::Dram,
-    data: &[u8],
-    rules: &[FilterRule],
-    driver_idx: usize,
-    first_block: bool,
-    out: &mut Vec<u8>,
-) -> (u64, u64, u64, u64, u64, u64) {
-    if exec.cycle_accurate {
-        let in_addr = driver_idx as u64 * STAGE_STRIDE;
-        let out_addr = in_addr + STAGE_OUT_OFF;
-        dram.write(in_addr, data);
-        let drv = &mut exec.drivers[driver_idx];
-        if first_block {
-            drv.invalidate_config_cache();
-        }
-        let job = FilterJob {
-            src: in_addr,
-            len: data.len() as u32,
-            dst: out_addr,
-            capacity: (STAGE_STRIDE - STAGE_OUT_OFF) as u32,
-            rules: rules.to_vec(),
-            aggregate: None,
-        };
-        let res = drv.filter_sync(&mut DramBus(dram), &job);
-        let start = out.len();
-        out.resize(start + res.result_bytes as usize, 0);
-        dram.read(out_addr, &mut out[start..]);
-        (
-            u64::from(res.block.tuples_in),
-            u64::from(res.tuples_out),
-            res.block.cycles,
-            res.io.reg_writes,
-            res.io.reg_reads,
-            u64::from(res.block.bytes_written),
-        )
-    } else {
-        let stats = exec.processor.process_block(data, rules, &exec.ops, out);
-        let bytes_written = match exec.profile {
-            // The fixed-block baseline always writes whole blocks back.
-            DriverProfile::Baseline => u64::from(exec.chunk_bytes),
-            DriverProfile::Generated => u64::from(stats.bytes_out),
-        };
-        let cycles = estimate_block_cycles(
-            data.len() as u64,
-            u64::from(stats.tuples_in),
-            bytes_written,
-            exec.stages,
-        );
-        let (w, r) = exec.cfg_io(first_block, rules.len());
-        (u64::from(stats.tuples_in), u64::from(stats.tuples_out), cycles, w, r, bytes_written)
-    }
-}
-
 /// Full-table SCAN with a filter-rule chain.
 ///
-/// Returns the matched (and reconciled) records plus the report. `now`
-/// is the operation start time on the platform clock.
+/// Lowers the legacy `(rules, mode)` convention into a physical plan
+/// (all predicates pushed, `TableExec::parallel_pes` job streams) and
+/// runs it on the engine. Returns the matched (and reconciled) records
+/// plus the report. `now` is the operation start time on the platform
+/// clock.
 pub fn scan(
     platform: &mut CosmosPlatform,
     lsm: &LsmTree,
@@ -293,193 +234,8 @@ pub fn scan(
     mode: ExecMode,
     now: SimNs,
 ) -> NkvResult<(Vec<u8>, SimReport)> {
-    let mut report = SimReport::default();
-    let mut results: Vec<u8> = Vec::new();
-    let mut matched_keys: Vec<(u64, usize, usize)> = Vec::new(); // (key, rank, result offset)
-    let record_bytes = lsm.record_bytes();
-    let start = now + platform.firmware.op_overhead_ns();
-    let mut op_end = start;
-    // Filter rules are written once per PE (the drivers cache them).
-    let mut configured = vec![false; exec.pe_servers.len().max(1)];
-
-    // --- C0: the memtable participates in every scan (ARM-side); its
-    // matches go through the same transformation as the PE path.
-    for (key, entry) in lsm.memtable().iter() {
-        if let Entry::Value(rec) = entry {
-            report.tuples_in += 1;
-            if exec.processor.tuple_passes(rec, rules, &exec.ops) {
-                matched_keys.push((key, 0, results.len()));
-                exec.processor.transform_into(rec, &mut results);
-                report.tuples_out += 1;
-            }
-        }
-    }
-    let (_, t) = platform.arm.schedule(
-        start,
-        timing::ARM_MEMTABLE_PROBE_NS
-            + lsm.memtable().len() as u64 * timing::ARM_FILTER_PS_PER_BYTE * record_bytes as u64
-                / 1000,
-    );
-    op_end = op_end.max(t);
-
-    // --- Persistent components: filter every data block.
-    let ssts: Vec<SstMeta> = lsm.all_ssts().into_iter().cloned().collect();
-    let mut driver_rr = 0usize;
-    for (rank, sst) in ssts.iter().enumerate() {
-        let rank = rank + 1; // memtable is rank 0
-        for bi in 0..sst.blocks.len() {
-            // Flash read: issued at `start` (the firmware queues reads
-            // across channels); the flash model serializes per resource.
-            let (flash_done, data) = read_block_resilient(
-                &mut platform.flash,
-                &exec.resilience,
-                &mut exec.health,
-                sst,
-                bi,
-                start,
-            )?;
-            report.blocks += 1;
-            report.bytes_scanned += data.len() as u64;
-            // Stage into DRAM.
-            let staged =
-                platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
-
-            let before = results.len();
-            let done = match mode {
-                ExecMode::Software => {
-                    let stats = exec.processor.process_block(&data, rules, &exec.ops, &mut results);
-                    report.tuples_in += u64::from(stats.tuples_in);
-                    report.tuples_out += u64::from(stats.tuples_out);
-                    arm_filter(platform, staged, data.len() as u64)
-                }
-                ExecMode::Hardware => {
-                    // The fixed-block baseline cannot express partial
-                    // blocks; its firmware handles the tail block in
-                    // software (see DESIGN.md).
-                    let partial = (data.len() as u32) < exec.full_block_payload;
-                    let baseline_tail = exec.profile == DriverProfile::Baseline && partial;
-                    let healthy = if baseline_tail {
-                        None
-                    } else {
-                        next_healthy_pe(&exec.pe_failed, exec.pe_servers.len(), &mut driver_rr)
-                    };
-                    match claim_pe(platform, exec, healthy, !baseline_tail)? {
-                        PeGrant::Hw(d) => {
-                            let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
-                                exec,
-                                &mut platform.dram,
-                                &data,
-                                rules,
-                                d,
-                                !configured[d],
-                                &mut results,
-                            );
-                            configured[d] = true;
-                            report.tuples_in += tin;
-                            report.tuples_out += tout;
-                            report.reg_writes += w;
-                            report.reg_reads += r;
-                            // ARM configures the PE, then the PE streams the
-                            // block; load + store both ride the DRAM port.
-                            schedule_hw_job(
-                                platform,
-                                exec,
-                                d,
-                                staged,
-                                cycles,
-                                w,
-                                r,
-                                Some(data.len() as u64),
-                                Some(bytes_written),
-                            )
-                        }
-                        PeGrant::Sw { hung } => {
-                            // Baseline tail block, a just-hung PE, or no
-                            // healthy PE left: ARM software path, charged
-                            // the watchdog timeout first on a fresh hang.
-                            let stats =
-                                exec.processor.process_block(&data, rules, &exec.ops, &mut results);
-                            report.tuples_in += u64::from(stats.tuples_in);
-                            report.tuples_out += u64::from(stats.tuples_out);
-                            arm_filter(
-                                platform,
-                                sw_resume_at(exec, staged, hung),
-                                data.len() as u64,
-                            )
-                        }
-                    }
-                }
-            };
-            op_end = op_end.max(done);
-            // Remember matched keys for reconciliation. A result buffer
-            // too short for a whole key would mean a PE wrote garbage —
-            // surfaced as a typed error, not a slice panic.
-            let mut off = before;
-            while off < results.len() {
-                let key = results
-                    .get(off..off + 8)
-                    .and_then(|s| <[u8; 8]>::try_from(s).ok())
-                    .map(u64::from_le_bytes)
-                    .ok_or(NkvError::ResultDecode { offset: off, need: 8, len: results.len() })?;
-                matched_keys.push((key, rank, off));
-                off += exec.processor.out_tuple_bytes();
-            }
-        }
-    }
-
-    // --- Post-filter reconciliation (shadow check).
-    let mut keep = vec![true; matched_keys.len()];
-    for (i, &(key, rank, _)) in matched_keys.iter().enumerate() {
-        if !exec.reconcile || rank == 0 {
-            continue; // memtable is always newest
-        }
-        if lsm.memtable_get(key).is_some() {
-            keep[i] = false;
-            continue;
-        }
-        for newer in lsm.ssts_newer_than(rank - 1) {
-            if newer.is_tombstoned(key) {
-                keep[i] = false;
-                break;
-            }
-            if newer.may_contain(key) {
-                // Bloom hit: confirm with a block read.
-                if let Some(bi) = newer.block_for(key) {
-                    let (t, data) = read_block_resilient(
-                        &mut platform.flash,
-                        &exec.resilience,
-                        &mut exec.health,
-                        newer,
-                        bi,
-                        op_end,
-                    )?;
-                    report.shadow_confirm_reads += 1;
-                    op_end = op_end.max(t);
-                    if search_block(&data, record_bytes, key).is_some() {
-                        keep[i] = false;
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    let out_bytes = exec.processor.out_tuple_bytes();
-    let mut reconciled = Vec::with_capacity(results.len());
-    for (i, &(_, _rank, off)) in matched_keys.iter().enumerate() {
-        if keep[i] {
-            reconciled.extend_from_slice(&results[off..off + out_bytes]);
-        }
-    }
-    report.tuples_out = keep.iter().filter(|&&k| k).count() as u64;
-
-    // --- Host transfer of the result set over NVMe.
-    let (nv_start, host_done) = platform.nvme.transfer(op_end, reconciled.len() as u64);
-    platform.trace_nvme(nv_start, host_done - nv_start, reconciled.len() as u64);
-    op_end = host_done;
-
-    report.result_bytes = reconciled.len() as u64;
-    report.sim_ns = op_end - now;
-    Ok((reconciled, report))
+    let plan = PhysicalPlan::legacy_scan(rules, mode, exec.parallel_pes);
+    crate::engine::run_scan(platform, lsm, exec, &plan, now)
 }
 
 /// Aggregate SCAN: compute one reduction over every record matching the
@@ -491,7 +247,7 @@ pub fn scan(
 /// reduction cannot be reconciled against shadowed versions after the
 /// fact, so the caller is responsible for compacting first (checked only
 /// by convention; the unit tests cover the supported shape).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // the legacy signature, kept verbatim
 pub fn scan_aggregate(
     platform: &mut CosmosPlatform,
     lsm: &LsmTree,
@@ -502,133 +258,8 @@ pub fn scan_aggregate(
     mode: ExecMode,
     now: SimNs,
 ) -> NkvResult<(u64, bool, SimReport)> {
-    let mut report = SimReport::default();
-    let start = now + platform.firmware.op_overhead_ns();
-    let mut op_end = start;
-    let mut acc = crate::oracle_acc(&exec.processor, agg, lane)
-        .ok_or_else(|| crate::error::NkvError::InvalidLane { table: "<aggregate>".into(), lane })?;
-
-    // Memtable contribution (ARM-side, like scan()).
-    for (_, entry) in lsm.memtable().iter() {
-        if let Entry::Value(rec) = entry {
-            report.tuples_in += 1;
-            if exec.processor.tuple_passes(rec, rules, &exec.ops) {
-                report.tuples_out += 1;
-                if let Some(v) = exec.processor.lane_value(rec, lane) {
-                    acc.update(v);
-                }
-            }
-        }
-    }
-    let (_, t) = platform.arm.schedule(
-        start,
-        timing::ARM_MEMTABLE_PROBE_NS
-            + lsm.memtable().len() as u64
-                * timing::ARM_FILTER_PS_PER_BYTE
-                * lsm.record_bytes() as u64
-                / 1000,
-    );
-    op_end = op_end.max(t);
-
-    let ssts: Vec<SstMeta> = lsm.all_ssts().into_iter().cloned().collect();
-    let mut driver_rr = 0usize;
-    let mut configured = vec![false; exec.pe_servers.len().max(1)];
-    for sst in &ssts {
-        for bi in 0..sst.blocks.len() {
-            let (flash_done, data) = read_block_resilient(
-                &mut platform.flash,
-                &exec.resilience,
-                &mut exec.health,
-                sst,
-                bi,
-                start,
-            )?;
-            report.blocks += 1;
-            report.bytes_scanned += data.len() as u64;
-            let staged =
-                platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
-            let done = match mode {
-                ExecMode::Software => {
-                    for tuple in data.chunks_exact(exec.processor.in_tuple_bytes()) {
-                        report.tuples_in += 1;
-                        if exec.processor.tuple_passes(tuple, rules, &exec.ops) {
-                            report.tuples_out += 1;
-                            if let Some(v) = exec.processor.lane_value(tuple, lane) {
-                                acc.update(v);
-                            }
-                        }
-                    }
-                    arm_filter(platform, staged, data.len() as u64)
-                }
-                ExecMode::Hardware => {
-                    // Functional result via the shared accumulator; counts
-                    // and timing like the filtering path, but with zero
-                    // result write-back (the aggregate stays in a register).
-                    let mut tin = 0u64;
-                    let mut tout = 0u64;
-                    for tuple in data.chunks_exact(exec.processor.in_tuple_bytes()) {
-                        tin += 1;
-                        if exec.processor.tuple_passes(tuple, rules, &exec.ops) {
-                            tout += 1;
-                            if let Some(v) = exec.processor.lane_value(tuple, lane) {
-                                acc.update(v);
-                            }
-                        }
-                    }
-                    report.tuples_in += tin;
-                    report.tuples_out += tout;
-                    let healthy =
-                        next_healthy_pe(&exec.pe_failed, exec.pe_servers.len(), &mut driver_rr);
-                    match claim_pe(platform, exec, healthy, true)? {
-                        PeGrant::Hw(d) => {
-                            let (mut w, r) = exec.cfg_io(!configured[d], rules.len());
-                            if !configured[d] {
-                                w += 2; // AGG_FIELD + AGG_OP
-                            }
-                            configured[d] = true;
-                            // +2 reads: the 64-bit accumulator halves.
-                            let r = r + 2;
-                            report.reg_writes += w;
-                            report.reg_reads += r;
-                            let cycles =
-                                estimate_block_cycles(data.len() as u64, tin, 0, exec.stages);
-                            // Aggregates never store: the result stays in a
-                            // register, so the job ends at PE-done.
-                            schedule_hw_job(
-                                platform,
-                                exec,
-                                d,
-                                staged,
-                                cycles,
-                                w,
-                                r,
-                                Some(data.len() as u64),
-                                None,
-                            )
-                        }
-                        PeGrant::Sw { hung } => {
-                            // Hung or exhausted PEs: the ARM re-reduces the
-                            // staged block (the accumulator above is already
-                            // correct — only time differs).
-                            arm_filter(
-                                platform,
-                                sw_resume_at(exec, staged, hung),
-                                data.len() as u64,
-                            )
-                        }
-                    }
-                }
-            };
-            op_end = op_end.max(done);
-        }
-    }
-
-    // Only the accumulator travels to the host.
-    let (nv_start, host_done) = platform.nvme.transfer(op_end, 8);
-    platform.trace_nvme(nv_start, host_done - nv_start, 8);
-    report.result_bytes = 8;
-    report.sim_ns = host_done - now;
-    Ok((acc.value(), acc.any(), report))
+    let plan = PhysicalPlan::legacy_scan_aggregate(rules, agg, lane, mode);
+    crate::engine::run_scan_aggregate(platform, lsm, exec, &plan, now)
 }
 
 /// Point lookup (GET).
@@ -640,153 +271,8 @@ pub fn get(
     mode: ExecMode,
     now: SimNs,
 ) -> NkvResult<(Option<Vec<u8>>, SimReport)> {
-    let mut report = SimReport::default();
-    let mut t = now + platform.firmware.op_overhead_ns();
-
-    // C0 probe.
-    let (_, tt) = platform.arm.schedule(t, timing::ARM_MEMTABLE_PROBE_NS);
-    t = tt;
-    match lsm.memtable_get(key) {
-        Some(Entry::Value(v)) => {
-            report.sim_ns = t - now;
-            return Ok((Some(v.clone()), report));
-        }
-        Some(Entry::Tombstone) => {
-            report.sim_ns = t - now;
-            return Ok((None, report));
-        }
-        None => {}
-    }
-
-    // Persistent components: index walk is sequential (the next lookup
-    // target depends on the previous miss).
-    let candidates: Vec<SstMeta> = lsm.candidate_ssts(key).into_iter().cloned().collect();
-    for sst in &candidates {
-        // Index block read + parse on the ARM (same retry policy as data
-        // blocks; the page content is already cached in `sst`).
-        if let Some(&page) = sst.index_pages.first() {
-            let idx_done = read_index_page_resilient(
-                platform,
-                &exec.resilience,
-                &mut exec.health,
-                sst.id,
-                page,
-                t,
-            )?;
-            let (_, parsed) = platform.arm.schedule(idx_done, 2_000);
-            t = parsed;
-        }
-        if sst.is_tombstoned(key) {
-            report.sim_ns = t - now;
-            return Ok((None, report));
-        }
-        if !sst.may_contain(key) {
-            continue;
-        }
-        let Some(bi) = sst.block_for(key) else { continue };
-        let (flash_done, data) = read_block_resilient(
-            &mut platform.flash,
-            &exec.resilience,
-            &mut exec.health,
-            sst,
-            bi,
-            t,
-        )?;
-        report.blocks += 1;
-        report.bytes_scanned += data.len() as u64;
-        let staged =
-            platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
-
-        let (found, done) = match mode {
-            ExecMode::Software => {
-                let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
-                let (_, done) = platform.arm.schedule(staged, timing::ARM_BLOCK_SEARCH_NS);
-                (rec, done)
-            }
-            ExecMode::Hardware => {
-                // GET always targets PE 0 (one block, no parallelism to
-                // exploit); a retired or freshly hung PE 0 degrades the
-                // search to the ARM, like the SCAN path.
-                let pe_down = exec.pe_failed.first().copied().unwrap_or(false);
-                let candidate = if pe_down { None } else { Some(0) };
-                match claim_pe(platform, exec, candidate, true)? {
-                    PeGrant::Sw { hung } => {
-                        let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
-                        let (_, done) = platform.arm.schedule(
-                            sw_resume_at(exec, staged, hung),
-                            timing::ARM_BLOCK_SEARCH_NS,
-                        );
-                        (rec, done)
-                    }
-                    PeGrant::Hw(d) => {
-                        // Key-equality filter on the PE; every GET reconfigures
-                        // the reference value, so no rule caching applies.
-                        let rules =
-                            [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
-                        let mut out = Vec::new();
-                        let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
-                            exec,
-                            &mut platform.dram,
-                            &data,
-                            &rules,
-                            d,
-                            true,
-                            &mut out,
-                        );
-                        report.tuples_in += tin;
-                        report.tuples_out += tout;
-                        report.reg_writes += w;
-                        report.reg_reads += r;
-                        // GET has no PE load phase in the model (the block is
-                        // already staged for the search); only the one-record
-                        // store rides the DRAM port.
-                        let done = schedule_hw_job(
-                            platform,
-                            exec,
-                            d,
-                            staged,
-                            cycles,
-                            w,
-                            r,
-                            None,
-                            Some(bytes_written),
-                        );
-                        let rec = if out.is_empty() {
-                            None
-                        } else {
-                            let n = lsm.record_bytes();
-                            Some(
-                                out.get(..n)
-                                    .ok_or(NkvError::ResultDecode {
-                                        offset: 0,
-                                        need: n,
-                                        len: out.len(),
-                                    })?
-                                    .to_vec(),
-                            )
-                        };
-                        (rec, done)
-                    }
-                }
-            }
-        };
-        t = done;
-        if let Some(rec) = found {
-            let (nv_start, host) = platform.nvme.transfer(t, rec.len() as u64);
-            platform.trace_nvme(nv_start, host - nv_start, rec.len() as u64);
-            report.sim_ns = host - now;
-            return Ok((Some(rec), report));
-        }
-    }
-    report.sim_ns = t - now;
-    Ok((None, report))
-}
-
-/// The `eq` operator code of a table's op set (always present in the
-/// standard set; panics if a custom-only set removed it).
-fn eq_code(_ops: &OpTable) -> u32 {
-    // The standard encoding from ndp-ir: nop=0, ne=1, eq=2.
-    2
+    let plan = PhysicalPlan::legacy_get(key, mode);
+    crate::engine::run_get(platform, lsm, exec, &plan, now)
 }
 
 #[cfg(test)]
@@ -794,6 +280,7 @@ mod tests {
     use super::*;
     use crate::lsm::LsmConfig;
     use crate::placement::PageAllocator;
+    use cosmos_sim::dram::DramClient;
     use cosmos_sim::CosmosConfig;
     use ndp_ir::elaborate;
     use ndp_pe::{BaselinePe, PeSim};
@@ -834,6 +321,8 @@ mod tests {
             resilience: ResilienceConfig::default(),
             health: HealthCounters::default(),
             pe_failed: vec![false; n_pes],
+            parallel_pes: 0,
+            last_parallel_scan: None,
         }
     }
 
@@ -1090,6 +579,64 @@ mod tests {
             rep_upd.sim_ns - rep_orig.sim_ns,
             timing::FIRMWARE_OP_OVERHEAD_NS,
             "updated firmware charges exactly the per-op overhead"
+        );
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_scan_exactly() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 20_000);
+        let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 1990 }];
+
+        let mut serial = make_exec(4, false, false);
+        let mut p1 = CosmosPlatform::new(CosmosConfig::default());
+        p1.flash = platform.flash.clone();
+        let (r_serial, rep_serial) =
+            scan(&mut p1, &lsm, &mut serial, &rules, ExecMode::Hardware, t0).unwrap();
+        assert!(serial.last_parallel_scan.is_none());
+
+        let mut par = make_exec(4, false, false);
+        par.parallel_pes = 4;
+        let mut p2 = CosmosPlatform::new(CosmosConfig::default());
+        p2.flash = platform.flash.clone();
+        let (r_par, rep_par) =
+            scan(&mut p2, &lsm, &mut par, &rules, ExecMode::Hardware, t0).unwrap();
+
+        assert_eq!(r_serial, r_par, "merge order must reproduce the serial result bytes");
+        assert_eq!(rep_serial.tuples_out, rep_par.tuples_out);
+        assert_eq!(rep_serial.blocks, rep_par.blocks);
+        let stats = par.last_parallel_scan.as_ref().expect("parallel stats recorded");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.blocks_per_worker.iter().sum::<u64>(), rep_par.blocks);
+        assert_eq!(stats.job_latency.count(), rep_par.blocks);
+    }
+
+    #[test]
+    fn parallel_scan_with_more_workers_is_faster() {
+        let mut platform = CosmosPlatform::new(CosmosConfig::default());
+        let mut alloc = PageAllocator::new(platform.flash.config());
+        let (lsm, t0) = loaded_lsm(&mut platform, &mut alloc, 20_000);
+        let rules = vec![FilterRule { lane: ref_lanes::YEAR, op_code: 4, value: 1990 }];
+
+        let mut one = make_exec(4, false, false);
+        one.parallel_pes = 1;
+        let mut p1 = CosmosPlatform::new(CosmosConfig::default());
+        p1.flash = platform.flash.clone();
+        let (r1, rep1) = scan(&mut p1, &lsm, &mut one, &rules, ExecMode::Hardware, t0).unwrap();
+
+        let mut four = make_exec(4, false, false);
+        four.parallel_pes = 4;
+        let mut p4 = CosmosPlatform::new(CosmosConfig::default());
+        p4.flash = platform.flash.clone();
+        let (r4, rep4) = scan(&mut p4, &lsm, &mut four, &rules, ExecMode::Hardware, t0).unwrap();
+
+        assert_eq!(r1, r4);
+        assert!(
+            (rep4.sim_ns as f64) < 0.8 * rep1.sim_ns as f64,
+            "4 streams ({} ns) should clearly beat 1 stream ({} ns)",
+            rep4.sim_ns,
+            rep1.sim_ns
         );
     }
 }

@@ -21,9 +21,17 @@
 //!   LSM components apart so compaction does not block scans);
 //! * [`lsm`] — levels `C1..Ck`, flush (no compaction on `C0→C1`,
 //!   matching the paper), leveled compaction with tombstone purging;
-//! * [`exec`] — the hybrid NDP executor: block-parallel SCAN/GET over
-//!   flash channels with software (ARM) or hardware (PE) filtering,
-//!   returning both results and simulated device time;
+//! * [`plan`] — the query planner: logical GET/SCAN/RANGE_SCAN/
+//!   aggregate ops are *lowered* into explicit physical plans (predicate
+//!   pushdown into PE registers, software residual filters, parallel PE
+//!   job streams) with an `EXPLAIN` rendering;
+//! * [`exec`] — per-table executor state ([`exec::TableExec`]) and the
+//!   legacy `(rules, mode)` entry points, now thin wrappers that lower
+//!   into plans;
+//! * [`engine`] — the plan-driven execution loops: block-parallel
+//!   SCAN/GET over flash channels with software (ARM) or hardware (PE)
+//!   filtering — serial or over N parallel per-channel-group job
+//!   streams — returning both results and simulated device time;
 //! * [`metrics`] — op-level observability: log-bucket latency
 //!   histograms, throughput counters and per-op time breakdowns
 //!   attributed from the platform's trace spans;
@@ -49,15 +57,18 @@ pub mod lsm;
 pub mod memtable;
 pub mod metrics;
 pub mod placement;
+pub mod plan;
 pub mod queue;
 pub mod recovery;
 pub mod sst;
 pub mod util;
 
 pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
+pub use engine::ParallelScanStats;
 pub use error::{NkvError, NkvResult};
 pub use exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport};
 pub use metrics::{Breakdown, DeviceStats, LatencyHistogram, MetricsRegistry, OpKind, OpMetrics};
+pub use plan::{Backend, LogicalOp, PhysOp, PhysicalPlan, PlanCaps, PlanOutcome};
 pub use queue::{ClientScript, CommandRecord, QueueRunConfig, QueueRunReport, QueuedOp};
 
 /// Build an aggregation accumulator for a table's processor (thin

@@ -121,6 +121,36 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Fold `other` into `self` bucket-wise. Because the buckets are
+    /// fixed log2 bins, merging per-PE-job histograms into the op-level
+    /// one is exact — every sample lands in the same bin it was
+    /// recorded in, and nothing is double counted.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Like [`LatencyHistogram::percentile_summary`] but with the deep
+    /// tail (p99.9) included — the loadgen report's format.
+    pub fn tail_summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} p50={} p95={} p99={} p99.9={} max={}",
+            self.count,
+            fmt_ns(self.quantile(0.50)),
+            fmt_ns(self.quantile(0.95)),
+            fmt_ns(self.quantile(0.99)),
+            fmt_ns(self.quantile(0.999)),
+            fmt_ns(self.max),
+        )
+    }
+
     /// One-line percentile summary for reports. An empty histogram
     /// renders as the stable `"n=0"` — never fabricated zero quantiles.
     pub fn percentile_summary(&self) -> String {
@@ -391,6 +421,44 @@ mod tests {
         h.record(1501);
         let q = h.quantile(0.5);
         assert!((1500..=2 * 1500).contains(&q), "got {q}");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram() {
+        let samples_a = [0u64, 5, 130, 9_000, 1_000_000];
+        let samples_b = [3u64, 130, 77_000];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for &s in &samples_a {
+            a.record(s);
+            all.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            all.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), all.buckets(), "bucket-exact, no double counting");
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.percentile_summary(), all.percentile_summary());
+        // Merging an empty histogram changes nothing.
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.buckets(), all.buckets());
+    }
+
+    #[test]
+    fn tail_summary_includes_p999() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        let s = h.tail_summary();
+        assert!(s.contains("p99.9="), "{s}");
+        assert!(s.starts_with("n=1000 p50="), "{s}");
+        assert_eq!(LatencyHistogram::new().tail_summary(), "n=0");
     }
 
     #[test]

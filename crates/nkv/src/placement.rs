@@ -115,6 +115,17 @@ impl PageAllocator {
     }
 }
 
+/// Which of `workers` parallel scan streams owns flash channel
+/// `channel`: channels are split into contiguous groups, one group per
+/// worker (the allocator stripes consecutive blocks across channels, so
+/// contiguous groups balance block counts). With more workers than
+/// channels the extra workers simply receive no channels.
+pub fn worker_for_channel(channel: u16, channels: u16, workers: usize) -> usize {
+    let channels = usize::from(channels).max(1);
+    let workers = workers.max(1);
+    (usize::from(channel) * workers / channels).min(workers - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +220,24 @@ mod tests {
         let before = a.free_pages();
         a.alloc_block(0, 4).unwrap();
         assert_eq!(a.free_pages(), before - 4);
+    }
+
+    #[test]
+    fn worker_partition_is_contiguous_and_balanced() {
+        // 8 channels over 4 workers: pairs {0,1} {2,3} {4,5} {6,7}.
+        let owners: Vec<usize> = (0..8).map(|c| worker_for_channel(c, 8, 4)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // One worker owns everything.
+        assert!((0..8).all(|c| worker_for_channel(c, 8, 1) == 0));
+        // Workers beyond the channel count stay within bounds.
+        for c in 0..8 {
+            assert!(worker_for_channel(c, 8, 16) < 16);
+        }
+        // Every channel maps to a valid worker for odd splits too.
+        for w in 1..=5usize {
+            for c in 0..8 {
+                assert!(worker_for_channel(c, 8, w) < w);
+            }
+        }
     }
 }

@@ -27,7 +27,7 @@
 
 use crate::db::NkvDb;
 use crate::error::{NkvError, NkvResult};
-use crate::exec::{self, ExecMode};
+use crate::exec::ExecMode;
 use crate::metrics::{LatencyHistogram, OpKind};
 use cosmos_sim::queue::{NvmeQueueConfig, QueueStats};
 use cosmos_sim::{ns_to_secs, SimNs};
@@ -248,31 +248,14 @@ impl NkvDb {
     ) -> NkvResult<(OpKind, SimNs, Vec<u8>)> {
         match op {
             QueuedOp::Get { key } => {
-                let t = self.tables.get_mut(table).expect("validated by run_queued");
-                let (rec, report) =
-                    exec::get(&mut self.platform, &t.lsm, &mut t.exec, *key, mode, now)?;
+                let (rec, report) = self.get_at(table, *key, mode, now)?;
                 Ok((OpKind::Get, now + report.sim_ns, rec.unwrap_or_default()))
             }
             QueuedOp::Scan { rules } => {
-                let t = self.tables.get_mut(table).expect("validated by run_queued");
-                for r in rules {
-                    if r.lane as usize >= t.exec.processor.lanes() {
-                        return Err(NkvError::InvalidLane {
-                            table: table.to_string(),
-                            lane: r.lane,
-                        });
-                    }
-                }
-                if mode == ExecMode::Hardware && rules.len() > t.exec.stages as usize {
-                    return Err(NkvError::Config(format!(
-                        "predicate chain of {} rules exceeds the PE's {} filtering stage(s)",
-                        rules.len(),
-                        t.exec.stages
-                    )));
-                }
-                let (records, report) =
-                    exec::scan(&mut self.platform, &t.lsm, &mut t.exec, rules, mode, now)?;
-                Ok((OpKind::Scan, now + report.sim_ns, records))
+                // Lowered through the planner, so validation errors are
+                // identical to the serial `NkvDb::scan` path.
+                let summary = self.scan_at(table, rules, mode, now)?;
+                Ok((OpKind::Scan, now + summary.report.sim_ns, summary.records))
             }
             QueuedOp::Put { record } => {
                 let t = self.tables.get_mut(table).expect("validated by run_queued");

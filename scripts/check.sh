@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (deny warnings), the test suite
-# (including the golden-artifact snapshots), the observability example
-# (+ trace-JSON validity), a fast-mode repro run diffed against the
-# committed reference output, a fixed-seed loadgen smoke run diffed the
-# same way, and the repro CLI's error paths.
+# (including the golden-artifact snapshots and the plan-equivalence
+# differential suite), the observability example (+ trace-JSON
+# validity), a fast-mode repro run diffed against the committed
+# reference output, a fixed-seed loadgen smoke run (latency tail +
+# parallel-PE sweep) diffed the same way, the explain subcommand, and
+# the repro CLI's error paths.
 # Run from anywhere; operates on the repo this script lives in.
 # CHECK_SLOW=1 additionally runs the #[ignore]d long campaigns
 # (queue-engine determinism sweep) via --include-ignored.
@@ -30,6 +32,12 @@ echo "==> golden artifact snapshots are in sync"
 # the main test invocation.
 cargo test -q -p ndp-core --test golden
 
+echo "==> plan equivalence: every backend and stream count returns identical results"
+# Also explicit and named: the planner/engine refactor is only safe
+# while software, hardware, hybrid and parallel-PE plans agree with the
+# BTreeMap model byte for byte.
+cargo test -q -p nkv --test plan_equivalence
+
 echo "==> profiling example + trace JSON validity"
 cargo run --release --example profiling -- target/profile_trace.json > /dev/null
 if command -v python3 > /dev/null; then
@@ -49,6 +57,19 @@ echo "==> loadgen smoke run matches the committed fixed-seed expectation"
 ./target/release/repro loadgen --clients 1,2,4 --depth 2 --ops 8 --seed 7 \
     --scale 0.00048828125 > target/loadgen_smoke.txt
 diff -u loadgen_smoke.txt target/loadgen_smoke.txt
+# The smoke output must carry the latency tail and the parallel-PE
+# sweep (its in-process assertions prove serial/parallel equivalence).
+grep -q 'p99.9=' target/loadgen_smoke.txt
+grep -q 'parallel-PE sweep' target/loadgen_smoke.txt
+
+echo "==> repro explain renders the lowered plan"
+./target/release/repro explain refs 'year>=2010' --backend hybrid > target/explain.txt
+grep -q 'PLAN SCAN ON refs (backend: hybrid)' target/explain.txt
+grep -q 'parallel PE job stream' target/explain.txt
+if ./target/release/repro explain refs 'definitely_not_a_lane>=1' > /dev/null 2>&1; then
+    echo "error: unknown explain lane must exit nonzero" >&2
+    exit 1
+fi
 
 echo "==> repro CLI rejects unknown subcommands and flags"
 if ./target/release/repro definitely-not-an-experiment > /dev/null 2>&1; then
