@@ -4,7 +4,7 @@
 //! cargo run --release -p bench --bin repro -- all [--scale 0.125 | --full]
 //! cargo run --release -p bench --bin repro -- fig7a fig7b table1   # any subset, in order
 //! cargo run --release -p bench --bin repro -- loadgen [--clients 1,4,16] \
-//!     [--depth D] [--ops N] [--seed S] [--scale F]
+//!     [--depth D] [--ops N] [--seed S] [--scale F] [--cache-mb M]
 //! cargo run --release -p bench --bin repro -- explain refs year>=2010 --backend hybrid
 //! ```
 //!
@@ -69,6 +69,11 @@ fn main() {
                 lg.seed =
                     value("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer"));
             }
+            "--cache-mb" => {
+                lg.cache_mb = value("--cache-mb")
+                    .parse()
+                    .unwrap_or_else(|_| die("--cache-mb needs an integer (MiB)"));
+            }
             other => die(&format!("unknown flag `{other}`")),
         }
     }
@@ -109,15 +114,22 @@ fn main() {
     }
 }
 
-/// `repro explain <table> <query...> [--backend sw|hw|hybrid]` — no
-/// dataset, no simulation: lower the query and print the plan.
+/// `repro explain <table> <query...> [--backend sw|hw|hybrid]
+/// [--cache-mb M]` — no dataset, no simulation: lower the query and
+/// print the plan (against a cache-equipped device when M > 0).
 fn explain(args: &[String]) {
     let mut backend = "hw".to_string();
+    let mut cache_mb = 0usize;
     let mut pos: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if a == "--backend" {
             backend = iter.next().cloned().unwrap_or_else(|| die("--backend needs a value"));
+        } else if a == "--cache-mb" {
+            cache_mb = iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--cache-mb needs an integer (MiB)"));
         } else if a.starts_with("--") {
             die(&format!("unknown flag `{a}`"));
         } else {
@@ -128,7 +140,7 @@ fn explain(args: &[String]) {
         die("explain needs a table: explain <table> <query...>");
     }
     let table = pos.remove(0);
-    match bench::explain::explain(&table, &pos, &backend) {
+    match bench::explain::explain(&table, &pos, &backend, cache_mb) {
         Ok(text) => print!("{text}"),
         Err(e) => die(&e),
     }
@@ -139,8 +151,9 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
          \x20            [--scale F | --full]\n\
-         \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]  (loadgen)\n\
-         \x20      repro explain <table> <query...> [--backend sw|hw|hybrid]\n\
+         \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]\n\
+         \x20            [--cache-mb M]  (loadgen)\n\
+         \x20      repro explain <table> <query...> [--backend sw|hw|hybrid] [--cache-mb M]\n\
          \x20            e.g. explain refs year>=2010 --backend hw; explain papers get 42"
     );
     std::process::exit(2)

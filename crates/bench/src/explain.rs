@@ -26,8 +26,9 @@ use nkv::{Backend, LogicalOp, NkvDb, TableConfig};
 pub const EXPLAIN_REF_STREAMS: usize = 4;
 
 /// Build the paper's device shape (1 paper-PE, 7 ref-PEs) with empty
-/// tables — capabilities only, no data.
-fn explain_db() -> NkvDb {
+/// tables — capabilities only, no data. A nonzero `cache_mb` turns on
+/// the device-DRAM block cache so plans advertise it.
+fn explain_db(cache_mb: usize) -> NkvDb {
     let module = ndp_spec::parse(PAPER_REF_SPEC).expect("bundled spec parses");
     let paper_pe = elaborate(&module, PAPER_PE).expect("bundled spec elaborates");
     let ref_pe = elaborate(&module, REF_PE).expect("bundled spec elaborates");
@@ -40,6 +41,9 @@ fn explain_db() -> NkvDb {
     refs_cfg.unique_keys = false;
     refs_cfg.parallel_pes = EXPLAIN_REF_STREAMS;
     db.create_table("refs", refs_cfg).expect("table config is valid");
+    if cache_mb > 0 {
+        db.enable_cache(cache_mb << 20);
+    }
     db
 }
 
@@ -102,7 +106,13 @@ fn parse_query(table: &str, query: &[String]) -> Result<LogicalOp, String> {
 }
 
 /// Parse and render: the whole subcommand behind `repro explain`.
-pub fn explain(table: &str, query: &[String], backend: &str) -> Result<String, String> {
+/// `cache_mb > 0` plans against a device with that much block cache.
+pub fn explain(
+    table: &str,
+    query: &[String],
+    backend: &str,
+    cache_mb: usize,
+) -> Result<String, String> {
     let backend = match backend {
         "sw" => Backend::Software,
         "hw" => Backend::Hardware,
@@ -113,7 +123,7 @@ pub fn explain(table: &str, query: &[String], backend: &str) -> Result<String, S
         return Err(format!("unknown table `{table}` (the explain device has: papers, refs)"));
     }
     let op = parse_query(table, query)?;
-    let db = explain_db();
+    let db = explain_db(cache_mb);
     db.explain(table, &op, backend).map_err(|e| e.to_string())
 }
 
@@ -123,7 +133,7 @@ mod tests {
 
     fn run(table: &str, query: &[&str], backend: &str) -> String {
         let q: Vec<String> = query.iter().map(|s| s.to_string()).collect();
-        explain(table, &q, backend).unwrap()
+        explain(table, &q, backend, 0).unwrap()
     }
 
     #[test]
@@ -170,17 +180,34 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_cache_line_appears_only_with_a_budget() {
+        let q = vec!["year>=2010".to_string()];
+        let cached = explain("refs", &q, "hw", 8).unwrap();
+        assert!(
+            cached.contains("  cache=device-DRAM segmented-LRU, budget 8192 KiB\n"),
+            "{cached}"
+        );
+        let plain = explain("refs", &q, "hw", 0).unwrap();
+        assert!(!plain.contains("cache="), "{plain}");
+        // Everything but the cache line is the budget-independent plan.
+        assert_eq!(
+            cached.replace("  cache=device-DRAM segmented-LRU, budget 8192 KiB\n", ""),
+            plain
+        );
+    }
+
+    #[test]
     fn bad_inputs_are_reported_not_panicked() {
         let q = |s: &str| vec![s.to_string()];
-        assert!(explain("papers", &q("nope>=1"), "hw").unwrap_err().contains("unknown lane"));
-        assert!(explain("nope", &q("year>=1"), "hw").unwrap_err().contains("unknown table"));
-        assert!(explain("papers", &q("year>=x"), "hw").unwrap_err().contains("integer"));
-        assert!(explain("papers", &q("year>=1"), "warp").unwrap_err().contains("backend"));
-        assert!(explain("papers", &[], "hw").is_err());
+        assert!(explain("papers", &q("nope>=1"), "hw", 0).unwrap_err().contains("unknown lane"));
+        assert!(explain("nope", &q("year>=1"), "hw", 0).unwrap_err().contains("unknown table"));
+        assert!(explain("papers", &q("year>=x"), "hw", 0).unwrap_err().contains("integer"));
+        assert!(explain("papers", &q("year>=1"), "warp", 0).unwrap_err().contains("backend"));
+        assert!(explain("papers", &[], "hw", 0).is_err());
         // Planner errors surface as text too: a 2-rule chain cannot run
         // purely in the paper-PE's single hardware stage.
         let long: Vec<String> = ["year>=2010", "venue==3"].iter().map(|s| s.to_string()).collect();
-        let err = explain("papers", &long, "hw").unwrap_err();
+        let err = explain("papers", &long, "hw", 0).unwrap_err();
         assert!(err.contains("filtering stage"), "{err}");
     }
 }

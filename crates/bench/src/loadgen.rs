@@ -20,7 +20,7 @@ use ndp_pe::oracle::FilterRule;
 use ndp_workload::spec::{paper_lanes, ref_lanes};
 use ndp_workload::{PaperGen, PubGraphConfig, SplitMix64};
 use nkv::queue::{ClientScript, QueueRunConfig, QueuedOp};
-use nkv::ExecMode;
+use nkv::{ExecMode, LatencyHistogram};
 
 /// Parameters of one loadgen sweep.
 #[derive(Debug, Clone)]
@@ -35,6 +35,10 @@ pub struct LoadgenConfig {
     pub ops_per_client: u32,
     /// Workload seed (scripts are derived per client from this).
     pub seed: u64,
+    /// Device-DRAM block-cache budget for the cache sweep, MiB. `0`
+    /// (the default) skips the sweep entirely and leaves the cache off,
+    /// so the smoke table stays byte-identical to the pre-cache output.
+    pub cache_mb: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -45,6 +49,7 @@ impl Default for LoadgenConfig {
             depth: 8,
             ops_per_client: 64,
             seed: 42,
+            cache_mb: 0,
         }
     }
 }
@@ -81,6 +86,21 @@ pub struct ParallelSweepPoint {
     pub speedup: f64,
 }
 
+/// One row of the DRAM block-cache sweep (`budget_mb == 0` is the
+/// cache-off baseline every other row must match byte-for-byte).
+#[derive(Debug, Clone)]
+pub struct CacheSweepPoint {
+    /// Cache budget, MiB (0 = cache disabled).
+    pub budget_mb: usize,
+    /// Hit rate over the whole repeated-scan run, `hits / lookups`.
+    pub hit_rate: f64,
+    /// Median per-scan simulated device time, milliseconds.
+    pub p50_ms: f64,
+    /// p99 per-scan simulated device time, milliseconds (the cold
+    /// first scan lands here, so it stays near the uncached p50).
+    pub p99_ms: f64,
+}
+
 /// The whole sweep.
 #[derive(Debug, Clone)]
 pub struct LoadgenFigure {
@@ -89,6 +109,8 @@ pub struct LoadgenFigure {
     /// Parallel-PE scan sweep over the refs table (the paper's "1..N
     /// filtering units"), same scale and dataset as the client sweep.
     pub sweep: Vec<ParallelSweepPoint>,
+    /// DRAM block-cache sweep; empty unless `cfg.cache_mb > 0`.
+    pub cache: Vec<CacheSweepPoint>,
 }
 
 /// Build the seeded script for one client: ~90 % GET, ~8 % PUT
@@ -139,7 +161,8 @@ pub fn loadgen(cfg: &LoadgenConfig) -> LoadgenFigure {
         });
     }
     let sweep = parallel_sweep(cfg.scale, &[0, 1, 2, 4]);
-    LoadgenFigure { cfg: cfg.clone(), points, sweep }
+    let cache = if cfg.cache_mb > 0 { cache_sweep(cfg.scale, cfg.cache_mb) } else { Vec::new() };
+    LoadgenFigure { cfg: cfg.clone(), points, sweep, cache }
 }
 
 /// Sweep the refs-table SCAN over parallel PE job-stream counts on one
@@ -177,6 +200,51 @@ pub fn parallel_sweep(scale: f64, streams: &[usize]) -> Vec<ParallelSweepPoint> 
     rows
 }
 
+/// Repeated scans per cache-sweep point: enough for the warm scans to
+/// dominate the p50 while the cold first scan sets p99.
+const CACHE_SWEEP_SCANS: usize = 6;
+
+/// Sweep the device-DRAM block cache budget from off to `cache_mb` MiB,
+/// running the same selective refs SCAN [`CACHE_SWEEP_SCANS`] times per
+/// point on a freshly built device. The cache must never change *what*
+/// a scan returns — every row is asserted byte-identical to the
+/// cache-off baseline — only *when* flash is touched, which the hit
+/// rate and the p50/p99 split make visible.
+pub fn cache_sweep(scale: f64, cache_mb: usize) -> Vec<CacheSweepPoint> {
+    let mut budgets = vec![0, cache_mb / 4, cache_mb / 2, cache_mb];
+    budgets.sort_unstable();
+    budgets.dedup();
+    let rules = [FilterRule { lane: ref_lanes::YEAR, op_code: 4 /* ge */, value: 2000 }];
+    let mut rows = Vec::with_capacity(budgets.len());
+    let mut baseline: Option<Vec<u8>> = None;
+    for budget_mb in budgets {
+        let mut ds = build_db(scale, DbKind::Ours);
+        if budget_mb > 0 {
+            ds.db.enable_cache(budget_mb << 20);
+        }
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..CACHE_SWEEP_SCANS {
+            let summary = ds.db.scan("refs", &rules, ExecMode::Hardware).expect("scan succeeds");
+            hist.record(summary.report.sim_ns);
+            match &baseline {
+                None => baseline = Some(summary.records.clone()),
+                Some(b) => assert_eq!(
+                    *b, summary.records,
+                    "the cache must be invisible to results (budget {budget_mb} MiB)"
+                ),
+            }
+        }
+        let hit_rate = ds.db.cache_stats().map_or(0.0, |s| s.hit_rate());
+        rows.push(CacheSweepPoint {
+            budget_mb,
+            hit_rate,
+            p50_ms: hist.quantile(0.50) as f64 / 1e6,
+            p99_ms: hist.quantile(0.99) as f64 / 1e6,
+        });
+    }
+    rows
+}
+
 /// Render the figure as the stable text table the `repro` binary prints
 /// (and the smoke test diffs).
 pub fn render(fig: &LoadgenFigure) -> String {
@@ -210,6 +278,21 @@ pub fn render(fig: &LoadgenFigure) -> String {
                 out,
                 "  {:>7} {:10.3} {:9} {:8.2}x",
                 label, r.scan_ms, r.matched, r.speedup
+            );
+        }
+    }
+    if !fig.cache.is_empty() {
+        let _ = writeln!(out, "  DRAM cache sweep (refs SCAN x{CACHE_SWEEP_SCANS}, year >= 2000):");
+        let _ = writeln!(out, "  budget(MB)   hit%    p50(ms)    p99(ms)");
+        for r in &fig.cache {
+            let label = if r.budget_mb == 0 { "off".to_string() } else { r.budget_mb.to_string() };
+            let _ = writeln!(
+                out,
+                "  {:>10} {:6.1} {:10.3} {:10.3}",
+                label,
+                r.hit_rate * 100.0,
+                r.p50_ms,
+                r.p99_ms
             );
         }
     }
@@ -255,6 +338,7 @@ mod tests {
             depth: 1,
             ops_per_client: 48,
             seed: 42,
+            cache_mb: 0,
         });
         let t: Vec<f64> = fig.points.iter().map(|p| p.ops_per_sec).collect();
         assert!(t[1] > 1.5 * t[0], "8 clients should clearly out-run 1 client: {t:?}");
@@ -270,6 +354,7 @@ mod tests {
             depth: 4,
             ops_per_client: 8,
             seed: 7,
+            cache_mb: 0,
         };
         let a = render(&loadgen(&cfg));
         let b = render(&loadgen(&cfg));
@@ -277,6 +362,36 @@ mod tests {
         assert!(a.contains("clients"), "{a}");
         assert!(a.contains("p99.9="), "latency column reports the p99.9 tail: {a}");
         assert!(a.contains("parallel-PE sweep"), "{a}");
+        assert!(
+            !a.contains("DRAM cache sweep"),
+            "cache_mb=0 must leave the table byte-identical to the pre-cache output: {a}"
+        );
+    }
+
+    #[test]
+    fn cache_sweep_hits_and_speeds_up_warm_scans() {
+        let rows = cache_sweep(SCALE, 8);
+        let off = rows.first().expect("budget 0 row");
+        let full = rows.last().expect("full-budget row");
+        assert_eq!(off.budget_mb, 0);
+        assert_eq!(full.budget_mb, 8);
+        assert!(off.hit_rate == 0.0, "cache off cannot hit: {:?}", off);
+        assert!(
+            full.hit_rate >= 0.5,
+            "repeated scans must warm the cache past the acceptance bar: {:?}",
+            full
+        );
+        assert!(
+            full.p50_ms < off.p50_ms,
+            "warm DRAM reads must beat flash on the median scan: {:.3} ms vs {:.3} ms",
+            full.p50_ms,
+            off.p50_ms
+        );
+        assert!(
+            full.p99_ms > full.p50_ms,
+            "the cold first scan should stretch the tail: {:?}",
+            full
+        );
     }
 
     #[test]

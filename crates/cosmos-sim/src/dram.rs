@@ -25,13 +25,16 @@ pub enum DramClient {
     Cpu,
     /// NVMe host transfers.
     Host,
+    /// Block-cache hit: a DRAM-resident SST block burst into the
+    /// staging buffer in place of a flash read + flash-DMA transfer.
+    CacheHit,
 }
 
 /// The PS-DRAM model: byte storage plus a shared-port timing model.
 pub struct Dram {
     bytes: Vec<u8>,
     port: BandwidthLink,
-    traffic: [u64; 5],
+    traffic: [u64; 6],
     /// Stall-burst injection state; `None` (the default) costs one
     /// branch per transfer and changes nothing else.
     faults: Option<DramFaultState>,
@@ -50,7 +53,7 @@ impl Dram {
         Self {
             bytes: vec![0; size],
             port: BandwidthLink::new(DRAM_PORT_BW),
-            traffic: [0; 5],
+            traffic: [0; 6],
             faults: None,
             trace: None,
         }

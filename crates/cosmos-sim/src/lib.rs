@@ -23,11 +23,16 @@
 //!   Chrome `trace_event` export, zero-cost when disabled;
 //! * [`queue`] — paired NVMe submission/completion queues with
 //!   configurable count/depth, doorbell + SQE/CQE link accounting and
-//!   full-queue stall tracking, opt-in like faults and tracing.
+//!   full-queue stall tracking, opt-in like faults and tracing;
+//! * [`cache`] — a fixed-budget segmented-LRU block cache in device
+//!   DRAM ([`BlockCache`]): repeated SST block/index reads are served
+//!   by a DRAM-port burst instead of flash, opt-in and zero-cost when
+//!   disabled like everything else.
 //!
 //! Simulated time is in **nanoseconds** ([`SimNs`]); both PL clock
 //! domains are exact in ns (10 ns at 100 MHz, 4 ns at 250 MHz).
 
+pub mod cache;
 pub mod dram;
 pub mod events;
 pub mod faults;
@@ -38,6 +43,7 @@ pub mod server;
 pub mod timing;
 pub mod trace;
 
+pub use cache::{BlockCache, CacheStats, INDEX_BLOCK};
 pub use dram::Dram;
 pub use events::EventQueue;
 pub use faults::{FaultPlan, FaultRng, FlashFaultKind, ScheduledFault};

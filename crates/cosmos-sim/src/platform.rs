@@ -7,6 +7,7 @@
 //! than the firmware of \[1\] ("traded some performance for higher
 //! reliability").
 
+use crate::cache::{BlockCache, CacheStats};
 use crate::dram::Dram;
 use crate::faults::{FaultPlan, PeFaultState};
 use crate::flash::{FlashArray, FlashConfig};
@@ -69,6 +70,9 @@ pub struct CosmosPlatform {
     /// NVMe queue pairs for multi-tenant command admission; `None` (the
     /// default) keeps the serial one-op-at-a-time path untouched.
     queues: Option<NvmeQueues>,
+    /// Device-DRAM block cache over SST data/index pages; `None` (the
+    /// default) keeps every read on the flash path untouched.
+    cache: Option<BlockCache>,
 }
 
 impl CosmosPlatform {
@@ -83,6 +87,7 @@ impl CosmosPlatform {
             pe_faults: None,
             trace: None,
             queues: None,
+            cache: None,
         }
     }
 
@@ -244,6 +249,60 @@ impl CosmosPlatform {
     /// The queue pairs, when enabled.
     pub fn queues(&self) -> Option<&NvmeQueues> {
         self.queues.as_ref()
+    }
+
+    /// Spend `budget_bytes` of device DRAM on the block cache. Until
+    /// this is called the platform has no cache state at all and every
+    /// block read takes the flash path (byte-identical timing).
+    pub fn enable_cache(&mut self, budget_bytes: usize) {
+        self.cache = Some(BlockCache::new(budget_bytes));
+    }
+
+    /// Drop the cache and all its contents/counters.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Whether the block cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The block cache, when enabled.
+    pub fn cache(&self) -> Option<&BlockCache> {
+        self.cache.as_ref()
+    }
+
+    /// Mutable access to the block cache, when enabled.
+    pub fn cache_mut(&mut self) -> Option<&mut BlockCache> {
+        self.cache.as_mut()
+    }
+
+    /// Cache counters, when enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(BlockCache::stats)
+    }
+
+    /// Invalidate every cached block of `sst_id` (no-op with the cache
+    /// disabled). Returns how many entries were dropped.
+    pub fn cache_evict_sst(&mut self, sst_id: u64) -> u64 {
+        self.cache.as_mut().map_or(0, |c| c.evict_sst(sst_id))
+    }
+
+    /// Record one block-cache hit span (the DRAM burst itself is also
+    /// recorded by the port as a `DramTransfer` with the `CacheHit`
+    /// client).
+    pub fn trace_cache_hit(
+        &mut self,
+        sst_id: u64,
+        block: u64,
+        bytes: u64,
+        start: SimNs,
+        dur: SimNs,
+    ) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent { kind: TraceKind::CacheHit { sst_id, block, bytes }, start, dur });
+        }
     }
 
     /// Admit command `cid` from `client` at `now`: pick the client's

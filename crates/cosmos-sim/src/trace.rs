@@ -47,6 +47,11 @@ pub enum TraceKind {
     /// NVMe completion posting on queue pair `qid`: 16 B CQE DMA plus
     /// the host's CQ-head doorbell acknowledgement, for command `cid`.
     QueueComplete { qid: u16, cid: u16 },
+    /// A DRAM block-cache hit: `bytes` of SST `sst_id` (block index
+    /// `block`; `u64::MAX` marks the index page) served from DRAM
+    /// instead of flash. The busy time of the burst itself is the
+    /// accompanying `DramTransfer` span with the `CacheHit` client.
+    CacheHit { sst_id: u64, block: u64, bytes: u64 },
 }
 
 /// One timed span in simulated time.
@@ -112,6 +117,7 @@ fn client_name(c: DramClient) -> &'static str {
         DramClient::PeStore => "pe_store",
         DramClient::Cpu => "cpu",
         DramClient::Host => "host",
+        DramClient::CacheHit => "cache_hit",
     }
 }
 
@@ -130,6 +136,7 @@ fn pid_tid(kind: &TraceKind) -> (u64, u64) {
         TraceKind::NvmeTransfer { .. } => (400, 1),
         TraceKind::QueueSubmit { qid, .. } => (500 + u64::from(*qid), 1),
         TraceKind::QueueComplete { qid, .. } => (500 + u64::from(*qid), 2),
+        TraceKind::CacheHit { .. } => (600, 1),
     }
 }
 
@@ -163,6 +170,9 @@ fn name_cat_args(kind: &TraceKind) -> (&'static str, &'static str, String) {
         }
         TraceKind::QueueComplete { qid, cid } => {
             ("queue_complete", "queue", format!("\"qid\":{qid},\"cid\":{cid}"))
+        }
+        TraceKind::CacheHit { sst_id, block, bytes } => {
+            ("cache_hit", "cache", format!("\"sst\":{sst_id},\"block\":{block},\"bytes\":{bytes}"))
         }
     }
 }
@@ -254,6 +264,7 @@ mod tests {
             TraceKind::RegAccess { pe: 4, writes: 7, reads: 2 },
             TraceKind::QueueSubmit { qid: 3, cid: 17 },
             TraceKind::QueueComplete { qid: 3, cid: 17 },
+            TraceKind::CacheHit { sst_id: 5, block: 2, bytes: 32_768 },
         ];
         let evs: Vec<TraceEvent> =
             kinds.iter().map(|&kind| TraceEvent { kind, start: 0, dur: 1 }).collect();
@@ -265,6 +276,7 @@ mod tests {
             "\"pid\":304,",
             "\"pid\":400,",
             "\"pid\":503,",
+            "\"pid\":600,",
         ] {
             assert!(json.contains(frag), "{frag} missing in {json}");
         }

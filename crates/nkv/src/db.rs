@@ -213,6 +213,30 @@ impl NkvDb {
         self.metrics.is_some()
     }
 
+    /// Turn on the device-DRAM block cache with a budget of
+    /// `budget_bytes`. Repeated SST block and index-page reads are then
+    /// served by a DRAM-port burst instead of flash; writes invalidate
+    /// through flush/compaction retirement and read-repair relocation,
+    /// so results are byte-identical to the uncached device.
+    pub fn enable_cache(&mut self, budget_bytes: usize) {
+        self.platform.enable_cache(budget_bytes);
+    }
+
+    /// Drop the block cache (contents and statistics).
+    pub fn disable_cache(&mut self) {
+        self.platform.disable_cache();
+    }
+
+    /// Whether the block cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.platform.cache_enabled()
+    }
+
+    /// Block-cache counters (`None` while the cache is disabled).
+    pub fn cache_stats(&self) -> Option<cosmos_sim::CacheStats> {
+        self.platform.cache_stats()
+    }
+
     /// Device-wide observability snapshot: per-op metrics (empty while
     /// metrics are disabled) plus the [`HealthReport`].
     #[must_use = "a device-stats snapshot is only useful when inspected"]
@@ -220,6 +244,7 @@ impl NkvDb {
         DeviceStats {
             metrics: self.metrics.clone().unwrap_or_default(),
             health: self.health_report(),
+            cache: self.platform.cache_stats(),
         }
     }
 
@@ -338,6 +363,9 @@ impl NkvDb {
                 let done =
                     t.lsm.rewrite_index(&mut self.platform.flash, &mut self.alloc, id, now)?;
                 self.clock = self.clock.max(done);
+                // Conservative: the relocated SST's cached blocks are
+                // dropped even though the copied payload is identical.
+                self.platform.cache_evict_sst(id);
             }
             self.persist()?;
         }
@@ -355,6 +383,15 @@ impl NkvDb {
             )));
         }
         let record_bytes = cfg.pe.input.tuple_bytes() as usize;
+        // The key is the first 8 bytes of every record; a narrower tuple
+        // would make every key extraction slice out of bounds. Validate
+        // once here so the PUT/bulk-load/queue paths can never panic.
+        if record_bytes < 8 {
+            return Err(NkvError::Config(format!(
+                "table `{name}`: records are {record_bytes} bytes but the key \
+                 occupies the first 8 — widen the PE input tuple"
+            )));
+        }
         let processor = BlockProcessor::new(&cfg.pe);
         let ops = OpTable::from_config(&cfg.pe);
         let profile = match cfg.variant {
@@ -463,6 +500,14 @@ impl NkvDb {
             end = end.max(done);
             self.observe(OpKind::Compaction, done.saturating_sub(now), 0);
             level += 1;
+        }
+        // Compaction retired its input SSTs: evict their blocks (data
+        // and index) from the device cache before any read can see the
+        // stale copies. Flushes create fresh ids, so they need nothing.
+        let retired =
+            self.tables.get_mut(table).expect("caller verified the table").lsm.take_retired();
+        for id in retired {
+            self.platform.cache_evict_sst(id);
         }
         Ok(end)
     }
@@ -637,7 +682,16 @@ impl NkvDb {
     pub fn explain(&self, table: &str, op: &LogicalOp, backend: Backend) -> NkvResult<String> {
         let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
         let plan = PhysicalPlan::lower(op, backend, &t.exec.caps(), table)?;
-        Ok(plan.explain(table, &t.exec.ops))
+        let mut text = plan.explain(table, &t.exec.ops);
+        // The cache line appears only when the cache is on, keeping the
+        // default rendering byte-identical to the pre-cache device.
+        if let Some(c) = self.platform.cache() {
+            text.push_str(&format!(
+                "  cache=device-DRAM segmented-LRU, budget {} KiB\n",
+                c.budget_bytes() / 1024
+            ));
+        }
+        Ok(text)
     }
 
     /// Plan and execute a logical operation on the chosen backend,
@@ -976,6 +1030,87 @@ mod tests {
             db.put("papers", vec![0u8; 10]),
             Err(NkvError::RecordSizeMismatch { expected: 80, got: 10, .. })
         ));
+    }
+
+    #[test]
+    fn narrow_record_table_is_rejected_at_creation() {
+        // Regression: a tuple narrower than the 8-byte key used to slip
+        // through table creation and panic the first key extraction
+        // (`record[..8]`) on the PUT and queued-PUT paths. It must be a
+        // typed configuration error instead.
+        let spec = "
+/* @autogen define parser TinyPe with
+   chunksize = 32, input = Tiny, output = Tiny */
+typedef struct {
+    uint32_t tag;
+} Tiny;
+";
+        let m = parse(spec).unwrap();
+        let pe = elaborate(&m, "TinyPe").unwrap();
+        assert_eq!(pe.input.tuple_bytes(), 4);
+        let mut db = NkvDb::default_db();
+        match db.create_table("tiny", TableConfig::new(pe)) {
+            Err(NkvError::Config(msg)) => {
+                assert!(msg.contains("8"), "message names the key width: {msg}")
+            }
+            other => panic!("expected a Config error, got {other:?}"),
+        }
+        assert!(db.tables.is_empty(), "rejected table must not be installed");
+    }
+
+    #[test]
+    fn cache_keeps_results_identical_and_counts_hits() {
+        let cfg = PubGraphConfig { papers: 1500, refs: 1500, seed: 21 };
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2010 }];
+        let run = |cache: bool| {
+            let mut db = paper_db(2, PeVariant::Generated);
+            if cache {
+                db.enable_cache(8 << 20);
+            }
+            db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+            let cold = db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+            let warm = db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+            assert_eq!(cold.records, warm.records);
+            (cold.records, warm.report.sim_ns, db.cache_stats())
+        };
+        let (plain, t_plain, no_stats) = run(false);
+        let (cached, t_cached, stats) = run(true);
+        assert_eq!(plain, cached, "cached results must be byte-identical");
+        assert_eq!(no_stats, None);
+        let s = stats.expect("cache enabled");
+        assert_eq!(s.hits + s.misses, s.lookups, "counter conservation");
+        assert!(s.hits > 0, "second scan must hit: {s:?}");
+        assert!(
+            t_cached < t_plain,
+            "warm scan from DRAM ({t_cached} ns) must beat flash ({t_plain} ns)"
+        );
+    }
+
+    #[test]
+    fn compaction_evicts_retired_ssts_from_the_cache() {
+        let m = parse(PAPER_REF_SPEC).unwrap();
+        let pe = elaborate(&m, PAPER_PE).unwrap();
+        let mut db = NkvDb::default_db();
+        db.enable_cache(8 << 20);
+        let mut cfg = TableConfig::new(pe);
+        cfg.lsm.memtable_bytes = 8 * 1024; // tiny, to force flush/compaction
+        cfg.lsm.c1_sst_limit = 2;
+        db.create_table("papers", cfg).unwrap();
+        let gen_cfg = PubGraphConfig { papers: 1200, refs: 1200, seed: 17 };
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 1900 }];
+        let mut model = std::collections::BTreeMap::new();
+        for (i, p) in PaperGen::new(gen_cfg).enumerate() {
+            db.put("papers", encode(&p)).unwrap();
+            model.insert(p.id, encode(&p));
+            if i % 300 == 299 {
+                // Scans interleaved with the PUT churn populate the
+                // cache while compactions retire SSTs under it.
+                let s = db.scan("papers", &rules, ExecMode::Software).unwrap();
+                assert_eq!(s.count as usize, model.len(), "cache must never serve stale blocks");
+            }
+        }
+        let s = db.cache_stats().expect("cache enabled");
+        assert!(s.invalidations > 0, "compaction churn must invalidate: {s:?}");
     }
 
     #[test]

@@ -112,6 +112,102 @@ pub(crate) fn read_index_page_resilient(
     })
 }
 
+/// Cache-aware staged read of one SST data block. On a device-DRAM
+/// block-cache hit the block bursts from DRAM into the staging buffer
+/// over the shared port — no flash traffic, no flash-DMA transfer — and
+/// a `cache_hit` span is traced. On a miss the resilient flash read
+/// runs exactly as before, the flash DMA stages the block, and the
+/// block is admitted to the cache. With the cache disabled (the
+/// default) this is the legacy read + stage path bit for bit. Returns
+/// the staging-complete time and the block bytes.
+pub(crate) fn staged_block_read(
+    platform: &mut CosmosPlatform,
+    exec: &mut TableExec,
+    sst: &SstMeta,
+    block_idx: usize,
+    now: SimNs,
+) -> NkvResult<(SimNs, Vec<u8>)> {
+    let hit = platform.cache_mut().and_then(|c| c.lookup(sst.id, block_idx)).map(|d| d.to_vec());
+    if let Some(data) = hit {
+        let staged = platform.dram.timed_transfer(DramClient::CacheHit, data.len() as u64, now);
+        platform.trace_cache_hit(sst.id, block_idx as u64, data.len() as u64, now, staged - now);
+        return Ok((staged, data));
+    }
+    let (flash_done, data) = read_block_resilient(
+        &mut platform.flash,
+        &exec.resilience,
+        &mut exec.health,
+        sst,
+        block_idx,
+        now,
+    )?;
+    let staged = platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
+    if let Some(c) = platform.cache_mut() {
+        c.insert(sst.id, block_idx, data.clone());
+    }
+    Ok((staged, data))
+}
+
+/// Cache-aware read of one SST block for the reconciliation shadow
+/// check. The ARM consumes the block in place, so — unlike
+/// [`staged_block_read`] — a miss keeps the legacy timing exactly (the
+/// resilient flash read alone, no staging transfer); a hit is one
+/// DRAM-port burst. Misses still admit the block.
+pub(crate) fn confirm_block_read(
+    platform: &mut CosmosPlatform,
+    exec: &mut TableExec,
+    sst: &SstMeta,
+    block_idx: usize,
+    now: SimNs,
+) -> NkvResult<(SimNs, Vec<u8>)> {
+    let hit = platform.cache_mut().and_then(|c| c.lookup(sst.id, block_idx)).map(|d| d.to_vec());
+    if let Some(data) = hit {
+        let done = platform.dram.timed_transfer(DramClient::CacheHit, data.len() as u64, now);
+        platform.trace_cache_hit(sst.id, block_idx as u64, data.len() as u64, now, done - now);
+        return Ok((done, data));
+    }
+    let (done, data) = read_block_resilient(
+        &mut platform.flash,
+        &exec.resilience,
+        &mut exec.health,
+        sst,
+        block_idx,
+        now,
+    )?;
+    if let Some(c) = platform.cache_mut() {
+        c.insert(sst.id, block_idx, data.clone());
+    }
+    Ok((done, data))
+}
+
+/// Cache-aware read of an SST's index page, keyed
+/// `(sst_id, INDEX_BLOCK)`. The page *content* already lives in the SST
+/// metadata — only the timing and the cache-budget occupancy of one
+/// flash page are modeled — so a hit is a page-sized DRAM burst and a
+/// miss is the legacy resilient flash-page read plus admission.
+pub(crate) fn index_page_read(
+    platform: &mut CosmosPlatform,
+    exec: &mut TableExec,
+    sst_id: u64,
+    page: cosmos_sim::PhysAddr,
+    now: SimNs,
+) -> NkvResult<SimNs> {
+    let bytes = u64::from(platform.flash.config().page_bytes);
+    let hit =
+        platform.cache_mut().is_some_and(|c| c.lookup(sst_id, cosmos_sim::INDEX_BLOCK).is_some());
+    if hit {
+        let done = platform.dram.timed_transfer(DramClient::CacheHit, bytes, now);
+        platform.trace_cache_hit(sst_id, u64::MAX, bytes, now, done - now);
+        return Ok(done);
+    }
+    let done =
+        read_index_page_resilient(platform, &exec.resilience, &mut exec.health, sst_id, page, now)?;
+    if let Some(c) = platform.cache_mut() {
+        c.insert(sst_id, cosmos_sim::INDEX_BLOCK, vec![0u8; bytes as usize]);
+    }
+    Ok(done)
+}
+
 /// Next non-failed PE in round-robin order, advancing `rr` past it;
 /// `None` once every PE has been marked failed.
 pub(crate) fn next_healthy_pe(failed: &[bool], n_pes: usize, rr: &mut usize) -> Option<usize> {
@@ -149,25 +245,34 @@ pub(crate) fn claim_pe(
     count_fallback: bool,
 ) -> NkvResult<PeGrant> {
     // Watchdog: a hung PE never raises DONE; the firmware's poll times
-    // out, the PE is retired and the block degrades to software.
-    let hang = candidate.is_some() && platform.roll_pe_hang();
-    if hang {
-        let d = candidate.expect("hang implies a selected PE");
-        exec.health.watchdog_trips += 1;
-        if let Some(f) = exec.pe_failed.get_mut(d) {
-            *f = true;
-        }
-        if !exec.resilience.hw_fallback_to_sw {
-            return Err(NkvError::PeTimeout { pe: d, watchdog_ns: exec.resilience.watchdog_ns });
+    // out, the PE is retired and the block degrades to software. The
+    // hang fault is rolled only when a PE was actually selected — the
+    // RNG draw order matches the paired no-fault run — and the hang is
+    // handled inside the same `if let`, so no unwrap can abort the
+    // device when a hostile fault plan fires with no PE left.
+    let mut hung = false;
+    if let Some(d) = candidate {
+        if platform.roll_pe_hang() {
+            hung = true;
+            exec.health.watchdog_trips += 1;
+            if let Some(f) = exec.pe_failed.get_mut(d) {
+                *f = true;
+            }
+            if !exec.resilience.hw_fallback_to_sw {
+                return Err(NkvError::PeTimeout {
+                    pe: d,
+                    watchdog_ns: exec.resilience.watchdog_ns,
+                });
+            }
         }
     }
     match candidate {
-        Some(d) if !hang => Ok(PeGrant::Hw(d)),
+        Some(d) if !hung => Ok(PeGrant::Hw(d)),
         _ => {
             if count_fallback {
                 exec.health.sw_fallback_blocks += 1;
             }
-            Ok(PeGrant::Sw { hung: hang })
+            Ok(PeGrant::Sw { hung })
         }
     }
 }
@@ -526,18 +631,9 @@ fn parallel_scan_streams(
             let (_, si, bi) = jobs[j];
             let sst = &ssts[si];
             let issue = t_next;
-            let (flash_done, data) = read_block_resilient(
-                &mut platform.flash,
-                &exec.resilience,
-                &mut exec.health,
-                sst,
-                bi,
-                issue,
-            )?;
+            let (staged, data) = staged_block_read(platform, exec, sst, bi, issue)?;
             report.blocks += 1;
             report.bytes_scanned += data.len() as u64;
-            let staged =
-                platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
             let partial = (data.len() as u32) < exec.full_block_payload;
             let baseline_tail = exec.profile == DriverProfile::Baseline && partial;
             let down = exec.pe_failed.get(pe).copied().unwrap_or(false);
@@ -627,21 +723,9 @@ pub(crate) fn run_scan(
         for (rank, sst) in ssts.iter().enumerate() {
             let rank = rank + 1; // memtable is rank 0
             for bi in 0..sst.blocks.len() {
-                let (flash_done, data) = read_block_resilient(
-                    &mut platform.flash,
-                    &exec.resilience,
-                    &mut exec.health,
-                    sst,
-                    bi,
-                    start,
-                )?;
+                let (staged, data) = staged_block_read(platform, exec, sst, bi, start)?;
                 report.blocks += 1;
                 report.bytes_scanned += data.len() as u64;
-                let staged = platform.dram.timed_transfer(
-                    DramClient::FlashDma,
-                    data.len() as u64,
-                    flash_done,
-                );
                 let before = results.len();
                 // The fixed-block baseline cannot express partial
                 // blocks; its firmware handles the tail block in
@@ -695,14 +779,7 @@ pub(crate) fn run_scan(
             if newer.may_contain(key) {
                 // Bloom hit: confirm with a block read.
                 if let Some(bi) = newer.block_for(key) {
-                    let (t, data) = read_block_resilient(
-                        &mut platform.flash,
-                        &exec.resilience,
-                        &mut exec.health,
-                        newer,
-                        bi,
-                        op_end,
-                    )?;
+                    let (t, data) = confirm_block_read(platform, exec, newer, bi, op_end)?;
                     report.shadow_confirm_reads += 1;
                     op_end = op_end.max(t);
                     if search_block(&data, record_bytes, key).is_some() {
@@ -771,18 +848,9 @@ pub(crate) fn run_scan_aggregate(
     let mut configured = vec![false; exec.pe_servers.len().max(1)];
     for sst in &ssts {
         for bi in 0..sst.blocks.len() {
-            let (flash_done, data) = read_block_resilient(
-                &mut platform.flash,
-                &exec.resilience,
-                &mut exec.health,
-                sst,
-                bi,
-                start,
-            )?;
+            let (staged, data) = staged_block_read(platform, exec, sst, bi, start)?;
             report.blocks += 1;
             report.bytes_scanned += data.len() as u64;
-            let staged =
-                platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
             let done = if plan.backend == Backend::Software {
                 for tuple in data.chunks_exact(exec.processor.in_tuple_bytes()) {
                     report.tuples_in += 1;
@@ -896,14 +964,7 @@ pub(crate) fn run_get(
         // Index block read + parse on the ARM (same retry policy as data
         // blocks; the page content is already cached in `sst`).
         if let Some(&page) = sst.index_pages.first() {
-            let idx_done = read_index_page_resilient(
-                platform,
-                &exec.resilience,
-                &mut exec.health,
-                sst.id,
-                page,
-                t,
-            )?;
+            let idx_done = index_page_read(platform, exec, sst.id, page, t)?;
             let (_, parsed) = platform.arm.schedule(idx_done, 2_000);
             t = parsed;
         }
@@ -915,18 +976,9 @@ pub(crate) fn run_get(
             continue;
         }
         let Some(bi) = sst.block_for(key) else { continue };
-        let (flash_done, data) = read_block_resilient(
-            &mut platform.flash,
-            &exec.resilience,
-            &mut exec.health,
-            sst,
-            bi,
-            t,
-        )?;
+        let (staged, data) = staged_block_read(platform, exec, sst, bi, t)?;
         report.blocks += 1;
         report.bytes_scanned += data.len() as u64;
-        let staged =
-            platform.dram.timed_transfer(DramClient::FlashDma, data.len() as u64, flash_done);
 
         let (found, done) = if plan.backend == Backend::Software {
             let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);

@@ -56,6 +56,11 @@ pub struct LsmTree {
     levels: Vec<Vec<SstMeta>>,
     next_sst_id: u64,
     seed: u64,
+    /// SST ids retired since the last [`Self::take_retired`] drain:
+    /// compaction inputs whose pages may still sit in the device block
+    /// cache. SSTs are immutable and the bump allocator never reuses
+    /// pages, so retirement is the only way block *content* goes stale.
+    retired: Vec<u64>,
 }
 
 impl LsmTree {
@@ -70,6 +75,7 @@ impl LsmTree {
             levels: vec![Vec::new(); max_levels],
             next_sst_id: 1,
             seed,
+            retired: Vec::new(),
         }
     }
 
@@ -160,6 +166,7 @@ impl LsmTree {
         // SSTs of `level + 1` (older than anything above).
         let upper: Vec<SstMeta> = std::mem::take(&mut self.levels[level]);
         let lower: Vec<SstMeta> = std::mem::take(&mut self.levels[level + 1]);
+        self.retired.extend(upper.iter().chain(lower.iter()).map(|s| s.id));
         let bottom = self.levels[level + 2..].iter().all(Vec::is_empty);
 
         // Materialize per-source entry streams (records + tombstones).
@@ -262,6 +269,13 @@ impl LsmTree {
     /// Per-level SST metadata (read-only view for persistence).
     pub fn levels(&self) -> &[Vec<SstMeta>] {
         &self.levels
+    }
+
+    /// Drain the SST ids retired by compactions since the last drain.
+    /// The caller (the DB maintenance loop) evicts them from the device
+    /// block cache; the list is empty when nothing was retired.
+    pub fn take_retired(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.retired)
     }
 
     /// Rebuild a tree from recovered SST metadata (`(level, meta)` pairs
@@ -614,6 +628,23 @@ mod tests {
         fx.lsm.compact(&mut fx.flash, &mut fx.alloc, 1, 0).unwrap();
         assert_eq!(get(&mut fx, 6), None);
         assert_eq!(fx.lsm.persistent_records(), 0);
+    }
+
+    #[test]
+    fn compaction_retires_its_input_ssts() {
+        let mut fx = fixture();
+        fx.lsm.put(1, rec(1, 1));
+        fx.lsm.flush(&mut fx.flash, &mut fx.alloc, 0).unwrap();
+        fx.lsm.put(2, rec(2, 1));
+        fx.lsm.flush(&mut fx.flash, &mut fx.alloc, 0).unwrap();
+        let mut inputs: Vec<u64> = fx.lsm.all_ssts().iter().map(|s| s.id).collect();
+        inputs.sort_unstable();
+        assert!(fx.lsm.take_retired().is_empty(), "flush retires nothing");
+        fx.lsm.compact(&mut fx.flash, &mut fx.alloc, 0, 0).unwrap();
+        let mut retired = fx.lsm.take_retired();
+        retired.sort_unstable();
+        assert_eq!(retired, inputs, "both compaction inputs are retired");
+        assert!(fx.lsm.take_retired().is_empty(), "drain empties the list");
     }
 
     #[test]

@@ -247,6 +247,10 @@ impl Breakdown {
             TraceKind::NvmeTransfer { .. }
             | TraceKind::QueueSubmit { .. }
             | TraceKind::QueueComplete { .. } => self.nvme_ns += ev.dur,
+            // A cache hit's DRAM burst is already attributed through
+            // its DramTransfer span; the marker span carries no
+            // additional busy time.
+            TraceKind::CacheHit { .. } => {}
         }
     }
 
@@ -315,6 +319,9 @@ pub struct DeviceStats {
     pub metrics: MetricsRegistry,
     /// Fault/resilience counters.
     pub health: HealthReport,
+    /// DRAM block-cache counters (`None` while the cache is disabled,
+    /// keeping the rendering byte-identical to the pre-cache device).
+    pub cache: Option<cosmos_sim::CacheStats>,
 }
 
 /// Render a nanosecond duration with a readable unit. Stable across
@@ -376,6 +383,20 @@ impl fmt::Display for DeviceStats {
                     pct(b.nvme_ns, b.total()),
                 )?;
             }
+        }
+        if let Some(c) = &self.cache {
+            writeln!(
+                f,
+                "  cache: lookups={} hits={} ({:.1}%) misses={} insertions={} \
+                 evictions={} invalidations={}",
+                c.lookups,
+                c.hits,
+                c.hit_rate() * 100.0,
+                c.misses,
+                c.insertions,
+                c.evictions,
+                c.invalidations,
+            )?;
         }
         write!(f, "{}", self.health)
     }
@@ -559,6 +580,88 @@ mod tests {
         assert!(!text.contains("SCAN"), "idle op classes are omitted: {text}");
         // Byte-stable for identical inputs.
         assert_eq!(text, format!("{s}"));
+    }
+
+    /// Seeded property sweep (SplitMix64, proptest-style): a histogram
+    /// holding exactly one sample must report that sample's bin — i.e.
+    /// the sample itself, since bucket upper bounds clamp to the
+    /// observed max — for *every* quantile, including the deep tail.
+    #[test]
+    fn prop_single_sample_owns_every_quantile() {
+        let mut rng = ndp_workload::SplitMix64::new(0xCAFE);
+        let qs = [0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for case in 0..500 {
+            // Mix magnitudes: small counts, bucket boundaries, huge
+            // durations (bucket 63 included via u64::MAX - k).
+            let ns = match case % 4 {
+                0 => rng.gen_u64(16),
+                1 => 1u64 << rng.gen_u64(64),
+                2 => rng.next_u64() >> rng.gen_u64(60),
+                _ => u64::MAX - rng.gen_u64(1 << 20),
+            };
+            let mut h = LatencyHistogram::new();
+            h.record(ns);
+            for &q in &qs {
+                assert_eq!(h.quantile(q), ns, "q={q} ns={ns}");
+            }
+        }
+    }
+
+    /// Seeded property sweep: for arbitrary sample sets, quantiles are
+    /// monotone in `q`, never exceed the observed max (the p99.9 clamp
+    /// of the bugfix audit), and never undershoot the smallest sample's
+    /// bucket's span.
+    #[test]
+    fn prop_quantiles_are_monotone_and_clamped_to_max() {
+        let mut rng = ndp_workload::SplitMix64::new(0xF00D);
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for _ in 0..200 {
+            let n = 1 + rng.gen_u64(64) as usize;
+            let mut h = LatencyHistogram::new();
+            let mut min_sample = u64::MAX;
+            for _ in 0..n {
+                let ns = rng.next_u64() >> rng.gen_u64(64);
+                h.record(ns);
+                min_sample = min_sample.min(ns);
+            }
+            let vals: Vec<SimNs> = qs.iter().map(|&q| h.quantile(q)).collect();
+            for w in vals.windows(2) {
+                assert!(w[0] <= w[1], "quantiles must be monotone: {vals:?}");
+            }
+            assert!(vals.iter().all(|&v| v <= h.max()), "q must clamp to max: {vals:?}");
+            // The lowest quantile answers with the smallest sample's
+            // bucket, whose upper bound is within 2x of the sample.
+            assert!(
+                vals[0] >= min_sample / 2,
+                "q=0 answered below the smallest sample's bin: {} < {min_sample}/2",
+                vals[0]
+            );
+        }
+    }
+
+    #[test]
+    fn device_stats_cache_line_renders_only_when_enabled() {
+        let mut s = DeviceStats::default();
+        s.metrics.record(OpKind::Scan, 1_000_000, 4096);
+        let off = format!("{s}");
+        assert!(!off.contains("cache:"), "disabled cache must not render: {off}");
+        s.cache = Some(cosmos_sim::CacheStats {
+            lookups: 4,
+            hits: 3,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+            invalidations: 2,
+            hit_bytes: 96 * 1024,
+        });
+        let on = format!("{s}");
+        assert!(
+            on.contains(
+                "cache: lookups=4 hits=3 (75.0%) misses=1 insertions=1 \
+                         evictions=0 invalidations=2"
+            ),
+            "{on}"
+        );
     }
 
     #[test]

@@ -267,7 +267,18 @@ impl NkvDb {
                         got: record.len(),
                     });
                 }
-                let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+                // Table creation rejects records narrower than the key,
+                // but a slice panic here would abort the whole queued
+                // run — decode defensively and surface a typed error.
+                let key = record
+                    .get(..8)
+                    .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                    .map(u64::from_le_bytes)
+                    .ok_or_else(|| {
+                        NkvError::Config(format!(
+                            "table `{table}`: {expected}-byte record cannot hold the 8-byte key"
+                        ))
+                    })?;
                 t.lsm.put(key, record.clone());
                 // Like the serial path: the memtable insert is free in
                 // simulated time, a PUT costs whatever flush/compaction

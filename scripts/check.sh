@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (deny warnings), the test suite
-# (including the golden-artifact snapshots and the plan-equivalence
-# differential suite), the observability example (+ trace-JSON
-# validity), a fast-mode repro run diffed against the committed
-# reference output, a fixed-seed loadgen smoke run (latency tail +
-# parallel-PE sweep) diffed the same way, the explain subcommand, and
-# the repro CLI's error paths.
+# (including the golden-artifact snapshots and the plan- and
+# cache-equivalence differential suites), the observability example
+# (+ trace-JSON validity), a fast-mode repro run diffed against the
+# committed reference output, a fixed-seed loadgen smoke run (latency
+# tail + parallel-PE sweep) diffed the same way, the DRAM block-cache
+# sweep gate, the explain subcommand, and the repro CLI's error paths.
 # Run from anywhere; operates on the repo this script lives in.
 # CHECK_SLOW=1 additionally runs the #[ignore]d long campaigns
 # (queue-engine determinism sweep) via --include-ignored.
@@ -38,6 +38,11 @@ echo "==> plan equivalence: every backend and stream count returns identical res
 # BTreeMap model byte for byte.
 cargo test -q -p nkv --test plan_equivalence
 
+echo "==> cache equivalence: the block cache never changes results, only timing"
+# Named for the same reason: the device-DRAM cache must stay invisible
+# to every backend's bytes across clean and fault-injected runs.
+cargo test -q -p nkv --test cache_equivalence
+
 echo "==> profiling example + trace JSON validity"
 cargo run --release --example profiling -- target/profile_trace.json > /dev/null
 if command -v python3 > /dev/null; then
@@ -62,10 +67,33 @@ diff -u loadgen_smoke.txt target/loadgen_smoke.txt
 grep -q 'p99.9=' target/loadgen_smoke.txt
 grep -q 'parallel-PE sweep' target/loadgen_smoke.txt
 
+echo "==> DRAM block-cache sweep warms past the acceptance hit rate"
+# The smoke diff above runs without --cache-mb, so it is also the
+# byte-identity proof that the cache is zero-cost when left off. This
+# run turns it on; render appends the sweep with the full budget last.
+./target/release/repro loadgen --clients 1 --depth 1 --ops 4 --seed 7 \
+    --scale 0.00048828125 --cache-mb 8 > target/loadgen_cache.txt
+grep -q 'DRAM cache sweep' target/loadgen_cache.txt
+# Full-budget row: repeated scans must be served >= 50% from DRAM ...
+tail -n 1 target/loadgen_cache.txt | awk '{
+    if ($2 + 0 < 50) { print "error: cache hit rate below 50%: " $0; exit 1 }
+}'
+# ... and the warm median must beat the cache-off median.
+off_p50=$(awk '$1 == "off" {print $3}' target/loadgen_cache.txt)
+full_p50=$(tail -n 1 target/loadgen_cache.txt | awk '{print $3}')
+awk -v off="$off_p50" -v warm="$full_p50" 'BEGIN {
+    if (!(warm + 0 < off + 0)) {
+        print "error: warm p50 " warm " ms not below cache-off p50 " off " ms"
+        exit 1
+    }
+}'
+
 echo "==> repro explain renders the lowered plan"
 ./target/release/repro explain refs 'year>=2010' --backend hybrid > target/explain.txt
 grep -q 'PLAN SCAN ON refs (backend: hybrid)' target/explain.txt
 grep -q 'parallel PE job stream' target/explain.txt
+./target/release/repro explain refs 'year>=2010' --backend hw --cache-mb 8 \
+    | grep -q 'cache=device-DRAM segmented-LRU, budget 8192 KiB'
 if ./target/release/repro explain refs 'definitely_not_a_lane>=1' > /dev/null 2>&1; then
     echo "error: unknown explain lane must exit nonzero" >&2
     exit 1
