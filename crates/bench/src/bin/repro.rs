@@ -4,7 +4,8 @@
 //! cargo run --release -p bench --bin repro -- all [--scale 0.125 | --full]
 //! cargo run --release -p bench --bin repro -- fig7a fig7b table1   # any subset, in order
 //! cargo run --release -p bench --bin repro -- loadgen [--clients 1,4,16] \
-//!     [--depth D] [--ops N] [--seed S] [--scale F] [--cache-mb M]
+//!     [--depth D] [--ops N] [--seed S] [--scale F] [--cache-mb M] \
+//!     [--devices 1,2,4] [--json out.json]
 //! cargo run --release -p bench --bin repro -- explain refs year>=2010 --backend hybrid
 //! ```
 //!
@@ -33,6 +34,7 @@ fn main() {
     let mut scale = 1.0 / 8.0;
     let mut scale_set = false;
     let mut lg = bench::LoadgenConfig::default();
+    let mut json_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if !a.starts_with("--") {
@@ -74,6 +76,18 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--cache-mb needs an integer (MiB)"));
             }
+            "--devices" => {
+                lg.devices = value("--devices")
+                    .split(',')
+                    .map(|d| match d.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => die("--devices needs n[,n...] with every n >= 1"),
+                    })
+                    .collect();
+            }
+            "--json" => {
+                json_path = Some(value("--json").to_string());
+            }
             other => die(&format!("unknown flag `{other}`")),
         }
     }
@@ -108,7 +122,7 @@ fn main() {
             "fig9" => fig9(),
             "ablations" => ablations(scale),
             "profile" => profile(scale),
-            "loadgen" => loadgen(&lg),
+            "loadgen" => loadgen(&lg, json_path.as_deref()),
             _ => unreachable!(),
         }
     }
@@ -152,7 +166,7 @@ fn die(msg: &str) -> ! {
         "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
          \x20            [--scale F | --full]\n\
          \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]\n\
-         \x20            [--cache-mb M]  (loadgen)\n\
+         \x20            [--cache-mb M] [--devices n[,n...]] [--json PATH]  (loadgen)\n\
          \x20      repro explain <table> <query...> [--backend sw|hw|hybrid] [--cache-mb M]\n\
          \x20            e.g. explain refs year>=2010 --backend hw; explain papers get 42"
     );
@@ -319,11 +333,16 @@ fn profile(scale: f64) {
     );
 }
 
-fn loadgen(cfg: &bench::LoadgenConfig) {
+fn loadgen(cfg: &bench::LoadgenConfig, json_path: Option<&str>) {
     header("Loadgen — closed-loop multi-client throughput (beyond-paper)");
     println!("building one database per client count ...");
     let fig = bench::loadgen::loadgen(cfg);
     print!("{}", bench::loadgen::render(&fig));
+    if let Some(path) = json_path {
+        let json = bench::loadgen::bench_json(&fig);
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote machine-readable results to {path}");
+    }
 }
 
 fn ablations(scale: f64) {

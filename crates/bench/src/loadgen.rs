@@ -16,11 +16,13 @@
 
 use crate::dataset::{build_db, DbKind};
 use cosmos_sim::ns_to_secs;
+use ndp_ir::elaborate;
 use ndp_pe::oracle::FilterRule;
-use ndp_workload::spec::{paper_lanes, ref_lanes};
+use ndp_pe::template::PeVariant;
+use ndp_workload::spec::{paper_lanes, ref_lanes, PAPER_PE, PAPER_REF_SPEC};
 use ndp_workload::{PaperGen, PubGraphConfig, SplitMix64};
 use nkv::queue::{ClientScript, QueueRunConfig, QueuedOp};
-use nkv::{ExecMode, LatencyHistogram};
+use nkv::{ClusterConfig, ExecMode, LatencyHistogram, NkvCluster, TableConfig};
 
 /// Parameters of one loadgen sweep.
 #[derive(Debug, Clone)]
@@ -39,6 +41,10 @@ pub struct LoadgenConfig {
     /// (the default) skips the sweep entirely and leaves the cache off,
     /// so the smoke table stays byte-identical to the pre-cache output.
     pub cache_mb: usize,
+    /// Device counts for the clients x devices cluster matrix. Empty
+    /// (the default) skips the matrix entirely, so the smoke table
+    /// stays byte-identical to the pre-cluster output.
+    pub devices: Vec<usize>,
 }
 
 impl Default for LoadgenConfig {
@@ -50,6 +56,7 @@ impl Default for LoadgenConfig {
             ops_per_client: 64,
             seed: 42,
             cache_mb: 0,
+            devices: Vec::new(),
         }
     }
 }
@@ -101,6 +108,24 @@ pub struct CacheSweepPoint {
     pub p99_ms: f64,
 }
 
+/// One cell of the clients x devices cluster matrix: the same seeded
+/// client scripts pushed through an [`NkvCluster`] of `devices`
+/// hash-sharded Cosmos+ instances.
+#[derive(Debug, Clone)]
+pub struct ClusterMatrixPoint {
+    pub clients: u32,
+    pub devices: usize,
+    /// Logical commands issued across all clients.
+    pub ops: u64,
+    /// Simulated wall time of the run (slowest shard), seconds.
+    pub span_s: f64,
+    /// Sustained cluster throughput over the run.
+    pub ops_per_sec: f64,
+    /// `LatencyHistogram::tail_summary` of submit→complete times,
+    /// merged across shards.
+    pub latency: String,
+}
+
 /// The whole sweep.
 #[derive(Debug, Clone)]
 pub struct LoadgenFigure {
@@ -111,6 +136,9 @@ pub struct LoadgenFigure {
     pub sweep: Vec<ParallelSweepPoint>,
     /// DRAM block-cache sweep; empty unless `cfg.cache_mb > 0`.
     pub cache: Vec<CacheSweepPoint>,
+    /// Clients x devices cluster matrix; empty unless `cfg.devices` is
+    /// non-empty.
+    pub cluster: Vec<ClusterMatrixPoint>,
 }
 
 /// Build the seeded script for one client: ~90 % GET, ~8 % PUT
@@ -162,7 +190,60 @@ pub fn loadgen(cfg: &LoadgenConfig) -> LoadgenFigure {
     }
     let sweep = parallel_sweep(cfg.scale, &[0, 1, 2, 4]);
     let cache = if cfg.cache_mb > 0 { cache_sweep(cfg.scale, cfg.cache_mb) } else { Vec::new() };
-    LoadgenFigure { cfg: cfg.clone(), points, sweep, cache }
+    let cluster = cluster_matrix(cfg);
+    LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster }
+}
+
+/// Run the clients x devices cluster matrix: for every `(clients,
+/// devices)` cell, bulk-load the papers table into a fresh
+/// [`NkvCluster`] of that many hash-sharded devices and push the same
+/// seeded client scripts through [`NkvCluster::run_queued`] (the router
+/// partitions each script by key, so the per-op order every device sees
+/// is deterministic). Empty `cfg.devices` skips the matrix — the default
+/// loadgen output must stay byte-identical to the single-device table.
+pub fn cluster_matrix(cfg: &LoadgenConfig) -> Vec<ClusterMatrixPoint> {
+    let mut rows = Vec::new();
+    if cfg.devices.is_empty() {
+        return rows;
+    }
+    let module = ndp_spec::parse(PAPER_REF_SPEC).expect("bundled spec parses");
+    let paper_pe = elaborate(&module, PAPER_PE).expect("bundled spec elaborates");
+    let mut papers_cfg = TableConfig::new(paper_pe);
+    papers_cfg.n_pes = 1;
+    papers_cfg.variant = PeVariant::Generated;
+    papers_cfg.lsm.c1_sst_limit = 12;
+    let pub_cfg = PubGraphConfig::scaled(cfg.scale);
+    let records: Vec<Vec<u8>> = PaperGen::new(pub_cfg)
+        .map(|p| {
+            let mut buf = Vec::with_capacity(80);
+            p.encode_into(&mut buf);
+            buf
+        })
+        .collect();
+    for &n in &cfg.clients {
+        let scripts: Vec<ClientScript> =
+            (0..n).map(|c| client_script(&pub_cfg, cfg.seed, c, cfg.ops_per_client)).collect();
+        for &d in &cfg.devices {
+            let mut cluster =
+                NkvCluster::new(ClusterConfig { devices: d, ..ClusterConfig::default() })
+                    .expect("cluster config is valid");
+            cluster.create_table("papers", papers_cfg.clone()).expect("table config is valid");
+            cluster.bulk_load("papers", records.clone()).expect("bulk load succeeds");
+            cluster.persist().expect("persist succeeds");
+            let run_cfg = QueueRunConfig { depth: cfg.depth, ..QueueRunConfig::default() };
+            let report =
+                cluster.run_queued("papers", &scripts, &run_cfg).expect("queued run succeeds");
+            rows.push(ClusterMatrixPoint {
+                clients: n,
+                devices: d,
+                ops: report.logical_ops,
+                span_s: ns_to_secs(report.span_ns),
+                ops_per_sec: report.throughput_ops_per_sec(),
+                latency: report.latency.tail_summary(),
+            });
+        }
+    }
+    rows
 }
 
 /// Sweep the refs-table SCAN over parallel PE job-stream counts on one
@@ -296,6 +377,159 @@ pub fn render(fig: &LoadgenFigure) -> String {
             );
         }
     }
+    if !fig.cluster.is_empty() {
+        let _ = writeln!(out, "  cluster matrix (clients x devices, hash-sharded):");
+        let _ = writeln!(out, "  clients  devices      ops   span(ms)      ops/s  latency");
+        for r in &fig.cluster {
+            let _ = writeln!(
+                out,
+                "  {:7} {:8} {:8} {:10.3} {:10.1}  {}",
+                r.clients,
+                r.devices,
+                r.ops,
+                r.span_s * 1e3,
+                r.ops_per_sec,
+                r.latency
+            );
+        }
+    }
+    out
+}
+
+/// Escape a string for a JSON literal (the latency summaries only carry
+/// ASCII, but stay safe anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` for the non-finite values
+/// JSON cannot carry).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the figure as machine-readable JSON (`BENCH_loadgen.json` in
+/// `scripts/check.sh`). Hand-rolled — the workspace carries no serde —
+/// and stable: same seed, same bytes, keys always present (empty sweeps
+/// are empty arrays, not missing keys).
+pub fn bench_json(fig: &LoadgenFigure) -> String {
+    use std::fmt::Write as _;
+    let join = |items: Vec<String>| items.join(", ");
+    let c = &fig.cfg;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/1\",");
+    let _ = writeln!(out, "  \"config\": {{");
+    let _ = writeln!(out, "    \"scale\": {},", json_num(c.scale));
+    let _ = writeln!(
+        out,
+        "    \"clients\": [{}],",
+        join(c.clients.iter().map(u32::to_string).collect())
+    );
+    let _ = writeln!(out, "    \"depth\": {},", c.depth);
+    let _ = writeln!(out, "    \"ops_per_client\": {},", c.ops_per_client);
+    let _ = writeln!(out, "    \"seed\": {},", c.seed);
+    let _ = writeln!(out, "    \"cache_mb\": {},", c.cache_mb);
+    let _ = writeln!(
+        out,
+        "    \"devices\": [{}]",
+        join(c.devices.iter().map(usize::to_string).collect())
+    );
+    let _ = writeln!(out, "  }},");
+    let points = fig
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"clients\": {}, \"ops\": {}, \"span_ms\": {}, \"ops_per_sec\": {}, \
+                 \"full_stalls\": {}, \"max_inflight\": {}, \"latency\": {}}}",
+                p.clients,
+                p.ops,
+                json_num(p.span_s * 1e3),
+                json_num(p.ops_per_sec),
+                p.full_stalls,
+                p.max_inflight,
+                json_str(&p.latency)
+            )
+        })
+        .collect::<Vec<_>>();
+    let _ = writeln!(out, "  \"points\": [\n{}\n  ],", points.join(",\n"));
+    let sweep = fig
+        .sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"streams\": {}, \"scan_ms\": {}, \"matched\": {}, \"speedup\": {}}}",
+                r.streams,
+                json_num(r.scan_ms),
+                r.matched,
+                json_num(r.speedup)
+            )
+        })
+        .collect::<Vec<_>>();
+    if sweep.is_empty() {
+        let _ = writeln!(out, "  \"parallel_sweep\": [],");
+    } else {
+        let _ = writeln!(out, "  \"parallel_sweep\": [\n{}\n  ],", sweep.join(",\n"));
+    }
+    let cache = fig
+        .cache
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"budget_mb\": {}, \"hit_rate\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}",
+                r.budget_mb,
+                json_num(r.hit_rate),
+                json_num(r.p50_ms),
+                json_num(r.p99_ms)
+            )
+        })
+        .collect::<Vec<_>>();
+    if cache.is_empty() {
+        let _ = writeln!(out, "  \"cache_sweep\": [],");
+    } else {
+        let _ = writeln!(out, "  \"cache_sweep\": [\n{}\n  ],", cache.join(",\n"));
+    }
+    let cluster = fig
+        .cluster
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"clients\": {}, \"devices\": {}, \"ops\": {}, \"span_ms\": {}, \
+                 \"ops_per_sec\": {}, \"latency\": {}}}",
+                r.clients,
+                r.devices,
+                r.ops,
+                json_num(r.span_s * 1e3),
+                json_num(r.ops_per_sec),
+                json_str(&r.latency)
+            )
+        })
+        .collect::<Vec<_>>();
+    if cluster.is_empty() {
+        let _ = writeln!(out, "  \"cluster_matrix\": []");
+    } else {
+        let _ = writeln!(out, "  \"cluster_matrix\": [\n{}\n  ]", cluster.join(",\n"));
+    }
+    let _ = writeln!(out, "}}");
     out
 }
 
@@ -339,6 +573,7 @@ mod tests {
             ops_per_client: 48,
             seed: 42,
             cache_mb: 0,
+            devices: Vec::new(),
         });
         let t: Vec<f64> = fig.points.iter().map(|p| p.ops_per_sec).collect();
         assert!(t[1] > 1.5 * t[0], "8 clients should clearly out-run 1 client: {t:?}");
@@ -355,6 +590,7 @@ mod tests {
             ops_per_client: 8,
             seed: 7,
             cache_mb: 0,
+            devices: Vec::new(),
         };
         let a = render(&loadgen(&cfg));
         let b = render(&loadgen(&cfg));
@@ -366,6 +602,93 @@ mod tests {
             !a.contains("DRAM cache sweep"),
             "cache_mb=0 must leave the table byte-identical to the pre-cache output: {a}"
         );
+        assert!(
+            !a.contains("cluster matrix"),
+            "an empty devices list must leave the table byte-identical to the \
+             pre-cluster output: {a}"
+        );
+    }
+
+    #[test]
+    fn cluster_matrix_scales_with_devices() {
+        let cfg = LoadgenConfig {
+            scale: SCALE,
+            clients: vec![2],
+            depth: 4,
+            ops_per_client: 32,
+            seed: 42,
+            cache_mb: 0,
+            devices: vec![1, 4],
+        };
+        let rows = cluster_matrix(&cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].devices, 1);
+        assert_eq!(rows[1].devices, 4);
+        assert_eq!(rows[0].ops, rows[1].ops, "every cell issues the same logical work");
+        assert!(
+            rows[1].ops_per_sec >= 2.5 * rows[0].ops_per_sec,
+            "4 hash shards must clearly out-run 1 device: {:.1} vs {:.1} ops/s",
+            rows[1].ops_per_sec,
+            rows[0].ops_per_sec
+        );
+        assert!(cluster_matrix(&LoadgenConfig::default()).is_empty(), "no devices, no matrix");
+    }
+
+    #[test]
+    fn bench_json_is_wellformed_and_carries_every_section() {
+        let cfg = LoadgenConfig {
+            scale: SCALE,
+            clients: vec![1],
+            depth: 2,
+            ops_per_client: 8,
+            seed: 7,
+            cache_mb: 0,
+            devices: vec![1, 2],
+        };
+        let json = bench_json(&loadgen(&cfg));
+        for key in [
+            "\"schema\"",
+            "\"config\"",
+            "\"points\"",
+            "\"parallel_sweep\"",
+            "\"cache_sweep\"",
+            "\"cluster_matrix\"",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        assert!(json.contains("\"nkv-bench-loadgen/1\""), "{json}");
+        assert!(json.contains("\"devices\": [1, 2]"), "{json}");
+        assert!(json.contains("\"cache_sweep\": []"), "cache off is an empty array: {json}");
+        // Structural sanity without a JSON parser in the workspace: the
+        // document is one balanced object, every bracket closes, and no
+        // non-finite float leaked through.
+        let depth_ok = |open: char, close: char| {
+            let mut depth = 0i64;
+            let mut in_str = false;
+            for c in json.chars() {
+                if c == '"' {
+                    in_str = !in_str;
+                }
+                if in_str {
+                    continue;
+                }
+                if c == open {
+                    depth += 1;
+                }
+                if c == close {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced {open}{close}: {json}");
+                }
+            }
+            depth == 0
+        };
+        assert!(depth_ok('{', '}'), "unbalanced braces: {json}");
+        assert!(depth_ok('[', ']'), "unbalanced brackets: {json}");
+        for bad in [": NaN", ": inf", ": -inf"] {
+            assert!(!json.contains(bad), "non-finite float leaked into JSON: {json}");
+        }
+        let again = bench_json(&loadgen(&cfg));
+        assert_eq!(json, again, "same seed, same bytes");
     }
 
     #[test]

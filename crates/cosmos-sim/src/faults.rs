@@ -227,6 +227,84 @@ impl DramFaultState {
     }
 }
 
+/// A *device-level* fault class: the whole device (not one page, port
+/// or PE) leaves service. These are the fleet-level fault domains a
+/// multi-device cluster router is built against — one device hanging,
+/// power-cutting or graying out must degrade the cluster, never take it
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFaultKind {
+    /// The device stops answering: every operation after the trip is
+    /// swallowed (firmware wedge, controller lockup). A device reset
+    /// ([`crate::CosmosPlatform::clear_device_fault`]) restores it with
+    /// its state intact.
+    Hang,
+    /// The device loses power: every operation is rejected and all
+    /// volatile state (memtables, caches, queue bookkeeping) is gone.
+    /// Only the flash image survives; recovery must rebuild from it.
+    PowerCut,
+    /// The NVMe link to the host drops: commands cannot be submitted or
+    /// completed. The device itself is fine — re-establishing the link
+    /// restores service with state intact.
+    LinkLoss,
+    /// Gray failure: the device keeps answering, but every operation
+    /// takes `factor_x10 / 10` times as long (thermal throttling, a
+    /// dying capacitor bank, a flaky PHY retraining on every transfer).
+    Slow { factor_x10: u32 },
+}
+
+/// A scheduled device-level fault: trip `kind` once `after_ops`
+/// operations have been admitted (0 = the very next operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceFaultPlan {
+    pub kind: DeviceFaultKind,
+    /// Operations admitted normally before the fault trips.
+    pub after_ops: u64,
+}
+
+/// Counters the platform keeps while a device fault plan is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceFaultStats {
+    /// Whether the fault has tripped yet.
+    pub tripped: bool,
+    /// Operations admitted normally (before the trip).
+    pub ops_admitted: u64,
+    /// Operations rejected after a Hang/PowerCut/LinkLoss trip.
+    pub ops_rejected: u64,
+    /// Operations served slowly after a Slow trip.
+    pub ops_slowed: u64,
+}
+
+/// Device-fault state, owned by `CosmosPlatform`. The platform only
+/// *admits* operations ([`crate::CosmosPlatform::device_op_admit`]);
+/// the cluster router decides what a rejection means (retry, failover,
+/// quarantine).
+#[derive(Debug, Clone)]
+pub struct DeviceFaultState {
+    pub(crate) plan: DeviceFaultPlan,
+    pub(crate) ops_seen: u64,
+    pub(crate) stats: DeviceFaultStats,
+}
+
+impl DeviceFaultState {
+    pub(crate) fn from_plan(plan: DeviceFaultPlan) -> Self {
+        Self { plan, ops_seen: 0, stats: DeviceFaultStats::default() }
+    }
+}
+
+/// Outcome of admitting one operation on a device (see
+/// [`crate::CosmosPlatform::device_op_admit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceAdmission {
+    /// The device serves the operation normally.
+    Ok,
+    /// The device serves the operation `factor_x10 / 10` times slower
+    /// (gray failure).
+    Slow { factor_x10: u32 },
+    /// The device does not serve the operation at all.
+    Rejected(DeviceFaultKind),
+}
+
 /// PE-hang state, owned by `CosmosPlatform` (the PEs themselves live in
 /// `nkv`'s executor; the platform decides *whether* the next block job
 /// hangs, the executor decides what that means).
@@ -275,5 +353,18 @@ mod tests {
         assert_eq!(p.transient_read_p, 0.0);
         assert_eq!(p.power_cut_at_write, None);
         assert!(p.schedule.is_empty());
+    }
+
+    #[test]
+    fn device_fault_state_trips_after_the_scheduled_ops() {
+        let mut st = DeviceFaultState::from_plan(DeviceFaultPlan {
+            kind: DeviceFaultKind::Hang,
+            after_ops: 2,
+        });
+        assert!(!st.stats.tripped);
+        st.ops_seen += 2;
+        st.stats.ops_admitted += 2;
+        assert_eq!(st.plan.after_ops, 2);
+        assert_eq!(st.stats.ops_admitted, 2);
     }
 }

@@ -18,7 +18,10 @@
 //! * [`platform`] — the assembled device ([`CosmosPlatform`]);
 //! * [`faults`] — deterministic, seeded fault injection ([`FaultPlan`]):
 //!   transient/persistent/correctable flash faults, DRAM stall bursts,
-//!   PE hangs and power cuts, with zero overhead when disabled;
+//!   PE hangs and power cuts, with zero overhead when disabled; plus
+//!   *device-level* fault plans ([`DeviceFaultPlan`]: whole-device
+//!   hang, power cut, NVMe link loss, gray slowdown) that a multi-device
+//!   cluster router treats as fleet-level fault domains;
 //! * [`trace`] — ring-buffered typed event spans in simulated time with
 //!   Chrome `trace_event` export, zero-cost when disabled;
 //! * [`queue`] — paired NVMe submission/completion queues with
@@ -46,7 +49,10 @@ pub mod trace;
 pub use cache::{BlockCache, CacheStats, INDEX_BLOCK};
 pub use dram::Dram;
 pub use events::EventQueue;
-pub use faults::{FaultPlan, FaultRng, FlashFaultKind, ScheduledFault};
+pub use faults::{
+    DeviceAdmission, DeviceFaultKind, DeviceFaultPlan, DeviceFaultStats, FaultPlan, FaultRng,
+    FlashFaultKind, ScheduledFault,
+};
 pub use flash::{FlashArray, FlashConfig, FlashError, PhysAddr};
 pub use platform::{CosmosConfig, CosmosPlatform, FirmwareEra};
 pub use queue::{NvmeQueueConfig, NvmeQueues, QueuePair, QueueStats, CQE_BYTES, SQE_BYTES};

@@ -9,7 +9,10 @@
 
 use crate::cache::{BlockCache, CacheStats};
 use crate::dram::Dram;
-use crate::faults::{FaultPlan, PeFaultState};
+use crate::faults::{
+    DeviceAdmission, DeviceFaultKind, DeviceFaultPlan, DeviceFaultState, DeviceFaultStats,
+    FaultPlan, PeFaultState,
+};
 use crate::flash::{FlashArray, FlashConfig};
 use crate::queue::{NvmeQueueConfig, NvmeQueues, CQE_BYTES, SQE_BYTES};
 use crate::server::{BandwidthLink, Server};
@@ -73,6 +76,9 @@ pub struct CosmosPlatform {
     /// Device-DRAM block cache over SST data/index pages; `None` (the
     /// default) keeps every read on the flash path untouched.
     cache: Option<BlockCache>,
+    /// Device-level fault plan (hang/power-cut/link-loss/slow); `None`
+    /// (the default) admits every operation without counting anything.
+    device_faults: Option<DeviceFaultState>,
 }
 
 impl CosmosPlatform {
@@ -88,6 +94,7 @@ impl CosmosPlatform {
             trace: None,
             queues: None,
             cache: None,
+            device_faults: None,
         }
     }
 
@@ -142,6 +149,62 @@ impl CosmosPlatform {
     /// PE hangs injected so far (zero when no plan is installed).
     pub fn pe_hangs(&self) -> u64 {
         self.pe_faults.as_ref().map_or(0, |f| f.hangs)
+    }
+
+    /// Install a *device-level* fault plan: after `plan.after_ops`
+    /// admitted operations the whole device hangs, power-cuts, loses
+    /// its NVMe link or turns slow. Replaces any previous device plan.
+    pub fn install_device_fault(&mut self, plan: DeviceFaultPlan) {
+        self.device_faults = Some(DeviceFaultState::from_plan(plan));
+    }
+
+    /// Drop the device-level fault state: models a device reset (Hang),
+    /// a link re-establishment (LinkLoss) or the end of a throttling
+    /// episode (Slow). Power restoration after a PowerCut also goes
+    /// through here, but volatile state is the *caller's* to discard —
+    /// the platform only stops rejecting operations.
+    pub fn clear_device_fault(&mut self) {
+        self.device_faults = None;
+    }
+
+    /// The device-fault kind currently in force (`None` before the trip
+    /// or when no plan is installed).
+    pub fn device_fault_active(&self) -> Option<DeviceFaultKind> {
+        self.device_faults.as_ref().filter(|f| f.stats.tripped).map(|f| f.plan.kind)
+    }
+
+    /// Device-fault counters (`None` when no plan is installed).
+    pub fn device_fault_stats(&self) -> Option<DeviceFaultStats> {
+        self.device_faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Admit one device operation against the installed device fault
+    /// plan. Counts the operation, trips the fault once `after_ops`
+    /// admissions have passed, and reports how the device answers:
+    /// normally, slowly (gray failure) or not at all. With no plan
+    /// installed this is a single branch and always admits.
+    pub fn device_op_admit(&mut self) -> DeviceAdmission {
+        let Some(f) = &mut self.device_faults else {
+            return DeviceAdmission::Ok;
+        };
+        if !f.stats.tripped {
+            if f.ops_seen < f.plan.after_ops {
+                f.ops_seen += 1;
+                f.stats.ops_admitted += 1;
+                return DeviceAdmission::Ok;
+            }
+            f.stats.tripped = true;
+        }
+        match f.plan.kind {
+            DeviceFaultKind::Slow { factor_x10 } => {
+                f.stats.ops_slowed += 1;
+                DeviceAdmission::Slow { factor_x10 }
+            }
+            kind => {
+                f.stats.ops_rejected += 1;
+                DeviceAdmission::Rejected(kind)
+            }
+        }
     }
 
     /// Enable device-wide event tracing: flash, DRAM and the platform
@@ -402,6 +465,40 @@ mod tests {
         assert!(done > fetch + 500_000);
         let stats = p.queues().unwrap().stats_total();
         assert_eq!((stats.submitted, stats.completed), (1, 1));
+    }
+
+    #[test]
+    fn device_fault_admits_then_trips_then_rejects() {
+        let mut p = CosmosPlatform::default_platform();
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Ok, "no plan admits for free");
+        assert!(p.device_fault_stats().is_none());
+
+        p.install_device_fault(DeviceFaultPlan { kind: DeviceFaultKind::Hang, after_ops: 2 });
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Ok);
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Ok);
+        assert!(p.device_fault_active().is_none(), "not tripped yet");
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Rejected(DeviceFaultKind::Hang));
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Rejected(DeviceFaultKind::Hang));
+        assert_eq!(p.device_fault_active(), Some(DeviceFaultKind::Hang));
+        let s = p.device_fault_stats().unwrap();
+        assert!(s.tripped);
+        assert_eq!((s.ops_admitted, s.ops_rejected, s.ops_slowed), (2, 2, 0));
+
+        p.clear_device_fault();
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Ok, "reset restores service");
+        assert!(p.device_fault_active().is_none());
+    }
+
+    #[test]
+    fn slow_device_fault_reports_the_gray_factor() {
+        let mut p = CosmosPlatform::default_platform();
+        p.install_device_fault(DeviceFaultPlan {
+            kind: DeviceFaultKind::Slow { factor_x10: 35 },
+            after_ops: 0,
+        });
+        assert_eq!(p.device_op_admit(), DeviceAdmission::Slow { factor_x10: 35 });
+        assert_eq!(p.device_fault_active(), Some(DeviceFaultKind::Slow { factor_x10: 35 }));
+        assert_eq!(p.device_fault_stats().unwrap().ops_slowed, 1);
     }
 
     #[test]

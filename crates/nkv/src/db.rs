@@ -163,6 +163,19 @@ pub struct NkvDb {
     trace_log: Vec<TraceEvent>,
 }
 
+/// Decode a record's embedded key (its first 8 bytes, little endian),
+/// surfacing a typed error instead of panicking when the record is too
+/// short to carry one. Callers size-check records first, but the write
+/// and bulk-load paths are reachable from the cluster router's shard
+/// calls, where a panic would take down the whole fleet simulation
+/// instead of failing one shard.
+fn record_key(table: &str, record: &[u8]) -> NkvResult<u64> {
+    let bytes: [u8; 8] = record.get(..8).and_then(|s| s.try_into().ok()).ok_or_else(|| {
+        NkvError::RecordSizeMismatch { table: table.to_string(), expected: 8, got: record.len() }
+    })?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
 impl NkvDb {
     /// Create a database on a platform built from `cfg`.
     pub fn new(cfg: CosmosConfig) -> Self {
@@ -359,7 +372,10 @@ impl NkvDb {
             stale_indexes.dedup();
             for (name, id) in stale_indexes {
                 let now = self.clock;
-                let t = self.tables.get_mut(&name).expect("collected from this map");
+                let t = self
+                    .tables
+                    .get_mut(&name)
+                    .ok_or_else(|| NkvError::UnknownTable(name.clone()))?;
                 let done =
                     t.lsm.rewrite_index(&mut self.platform.flash, &mut self.alloc, id, now)?;
                 self.clock = self.clock.max(done);
@@ -454,7 +470,7 @@ impl NkvDb {
                 got: record.len(),
             });
         }
-        let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+        let key = record_key(table, &record)?;
         let t0 = self.clock;
         t.lsm.put(key, record);
         self.maintain(table)?;
@@ -484,7 +500,7 @@ impl NkvDb {
     /// path wraps it with the device clock.
     pub(crate) fn maintain_at(&mut self, table: &str, now: SimNs) -> NkvResult<SimNs> {
         let mut end = now;
-        let t = self.tables.get_mut(table).expect("caller verified the table");
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
         if t.lsm.should_flush() {
             let done = t.lsm.flush(&mut self.platform.flash, &mut self.alloc, now)?;
             end = end.max(done);
@@ -492,7 +508,8 @@ impl NkvDb {
         }
         let mut level = 0;
         loop {
-            let t = self.tables.get_mut(table).expect("caller verified the table");
+            let t =
+                self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
             if !t.lsm.should_compact(level) {
                 break;
             }
@@ -504,8 +521,12 @@ impl NkvDb {
         // Compaction retired its input SSTs: evict their blocks (data
         // and index) from the device cache before any read can see the
         // stale copies. Flushes create fresh ids, so they need nothing.
-        let retired =
-            self.tables.get_mut(table).expect("caller verified the table").lsm.take_retired();
+        let retired = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| NkvError::UnknownTable(table.into()))?
+            .lsm
+            .take_retired();
         for id in retired {
             self.platform.cache_evict_sst(id);
         }
@@ -547,7 +568,7 @@ impl NkvDb {
                     got: record.len(),
                 });
             }
-            let key = u64::from_le_bytes(record[..8].try_into().unwrap());
+            let key = record_key(table, &record)?;
             let allow_dups = !t.unique_keys;
             let b = builder.get_or_insert_with(|| {
                 next_id += 1;
@@ -564,7 +585,11 @@ impl NkvDb {
             if in_current >= max_per_sst {
                 let (meta, t_done) = builder
                     .take()
-                    .expect("builder exists inside the loop")
+                    .ok_or_else(|| {
+                        NkvError::Config(format!(
+                            "bulk load into `{table}` lost its SST builder mid-stream"
+                        ))
+                    })?
                     .finish(&mut self.platform.flash, &mut self.alloc, now)?;
                 done = done.max(t_done);
                 t.lsm.install_bulk_sst(meta);
@@ -866,7 +891,12 @@ impl NkvDb {
                     db.alloc.mark_used(p);
                 }
             }
-            let t = db.tables.get_mut(&entry.name).expect("just created");
+            let t = db.tables.get_mut(&entry.name).ok_or_else(|| {
+                NkvError::Config(format!(
+                    "recovered table `{}` vanished after create_table",
+                    entry.name
+                ))
+            })?;
             t.lsm = crate::lsm::LsmTree::from_recovered(
                 &entry.name,
                 entry.record_bytes as usize,
@@ -1242,5 +1272,38 @@ typedef struct {
         .unwrap();
         let t2 = db.clock();
         assert!(t0 < t1 && t1 < t2);
+    }
+
+    /// Regression: `maintain_at` used to `expect` the table's presence,
+    /// panicking on a name no caller verified. Reachable from the
+    /// cluster router's shard calls, it must be a typed error.
+    #[test]
+    fn maintenance_on_an_unknown_table_is_a_typed_error() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let err = db.maintain_at("no-such-table", 0).unwrap_err();
+        assert_eq!(err, NkvError::UnknownTable("no-such-table".into()));
+    }
+
+    /// Regression: the recover path near the old `expect("just
+    /// created")` site must reject a manifest entry with no supplied
+    /// configuration with a typed error, not a panic — this is exactly
+    /// what a cluster heal with a stale table list hits.
+    #[test]
+    fn recover_without_the_tables_config_is_a_typed_error() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        let cfg = PubGraphConfig { papers: 200, refs: 200, seed: 11 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        db.persist().unwrap();
+        let mut fresh = CosmosPlatform::default_platform();
+        fresh.flash = db.platform_mut().flash.clone();
+        fresh.flash.reboot();
+        let err = match NkvDb::recover(fresh, Vec::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("recover without any table config must fail"),
+        };
+        assert!(
+            matches!(err, NkvError::Config(ref msg) if msg.contains("papers")),
+            "want a typed Config error naming the table, got {err:?}"
+        );
     }
 }

@@ -47,6 +47,14 @@ use ndp_swgen::{DriverProfile, FilterJob};
 const STAGE_STRIDE: u64 = 256 * 1024;
 const STAGE_OUT_OFF: u64 = 128 * 1024;
 
+/// Backoff charged before retry `attempt` (1-based):
+/// `backoff_base_ns << (attempt - 1)`, shift capped so a hostile retry
+/// budget cannot overflow. One definition shared by the block-read
+/// retry loop below and the cluster router's per-shard retry wrapper.
+pub(crate) fn backoff_before_retry(res: &ResilienceConfig, attempt: u32) -> SimNs {
+    res.backoff_base_ns << attempt.saturating_sub(1).min(16)
+}
+
 /// Run `attempt_read` at increasing simulated times until it succeeds,
 /// fails non-retryably, or exhausts the retry budget. Backoff before
 /// retry `n` is `backoff_base_ns << (n - 1)` (capped shift); every
@@ -71,7 +79,7 @@ pub(crate) fn retry_read<T>(
                     return Err(NkvError::RetriesExhausted { sst_id, block, attempts: attempt });
                 }
                 health.read_retries += 1;
-                let backoff = res.backoff_base_ns << (attempt - 1).min(16);
+                let backoff = backoff_before_retry(res, attempt);
                 health.retry_backoff_ns += backoff;
                 at += backoff;
             }

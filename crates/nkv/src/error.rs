@@ -36,6 +36,11 @@ pub enum NkvError {
     /// A transiently failing page read did not recover within the
     /// configured retry budget.
     RetriesExhausted { sst_id: u64, block: usize, attempts: u32 },
+    /// A cluster shard could not serve the operation (quarantined,
+    /// dead, or rejected by a device-level fault) and the query ran
+    /// under the `Strict` read policy. `Available`-policy reads report
+    /// the same condition as `missing_shards` instead of failing.
+    ShardUnavailable { shard: usize, reason: String },
 }
 
 impl fmt::Display for NkvError {
@@ -68,6 +73,9 @@ impl fmt::Display for NkvError {
                 f,
                 "read of SST {sst_id} block {block} still failing after {attempts} attempts"
             ),
+            NkvError::ShardUnavailable { shard, reason } => {
+                write!(f, "shard {shard} unavailable: {reason}")
+            }
         }
     }
 }

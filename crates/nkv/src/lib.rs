@@ -42,13 +42,20 @@
 //!   client over the platform's submission/completion queues, with
 //!   out-of-order completion when commands touch disjoint resources;
 //! * [`recovery`] — manifest + index-block based state reconstruction
-//!   after a power cycle (all accessor state lives on the device).
+//!   after a power cycle (all accessor state lives on the device);
+//! * [`cluster`] — fleet-level fault domains: [`cluster::NkvCluster`]
+//!   shards one namespace across N simulated devices (hash or range
+//!   placement), fans reads out device-parallel with deterministic
+//!   merges, and runs a per-shard health FSM (`Healthy → Degraded →
+//!   Quarantined → Dead → Recovered`) with router-side retry/backoff,
+//!   quarantine probing and strict/available read policies.
 //!
 //! Records are fixed-size application structs (the tuples the PEs parse);
 //! the first 8 bytes of every record are its little-endian `u64` key.
 //! This *is* the nKV model: the store understands application formats
 //! natively instead of wrapping them in opaque blobs.
 
+pub mod cluster;
 pub mod db;
 pub mod engine;
 pub mod error;
@@ -63,6 +70,10 @@ pub mod recovery;
 pub mod sst;
 pub mod util;
 
+pub use cluster::{
+    ClusterAggregate, ClusterConfig, ClusterGet, ClusterHealthReport, ClusterRunReport,
+    ClusterScan, HealthFsmConfig, NkvCluster, ReadPolicy, ShardHealth, ShardState, ShardStrategy,
+};
 pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
 pub use engine::ParallelScanStats;
 pub use error::{NkvError, NkvResult};

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (deny warnings), the test suite
-# (including the golden-artifact snapshots and the plan- and
-# cache-equivalence differential suites), the observability example
-# (+ trace-JSON validity), a fast-mode repro run diffed against the
-# committed reference output, a fixed-seed loadgen smoke run (latency
-# tail + parallel-PE sweep) diffed the same way, the DRAM block-cache
-# sweep gate, the explain subcommand, and the repro CLI's error paths.
+# (including the golden-artifact snapshots and the plan-,
+# cache-equivalence and cluster-chaos differential suites), the
+# observability example (+ trace-JSON validity), a fast-mode repro run
+# diffed against the committed reference output, a fixed-seed loadgen
+# smoke run (latency tail + parallel-PE sweep) diffed the same way, the
+# DRAM block-cache sweep gate, the cluster clients x devices scaling
+# matrix (which also emits BENCH_loadgen.json, the machine-readable
+# results file), the explain subcommand, and the repro CLI's error
+# paths.
 # Run from anywhere; operates on the repo this script lives in.
 # CHECK_SLOW=1 additionally runs the #[ignore]d long campaigns
 # (queue-engine determinism sweep) via --include-ignored.
@@ -42,6 +45,12 @@ echo "==> cache equivalence: the block cache never changes results, only timing"
 # Named for the same reason: the device-DRAM cache must stay invisible
 # to every backend's bytes across clean and fault-injected runs.
 cargo test -q -p nkv --test cache_equivalence
+
+echo "==> cluster chaos: sharded reads survive device-level fault campaigns"
+# Named gate for the fleet layer: hash/range-sharded clusters must stay
+# byte-identical to a single device at N=1, serve survivors under
+# hang/power-cut/link-loss, and walk the health FSM monotonically.
+cargo test -q --test cluster_chaos
 
 echo "==> profiling example + trace JSON validity"
 cargo run --release --example profiling -- target/profile_trace.json > /dev/null
@@ -87,6 +96,54 @@ awk -v off="$off_p50" -v warm="$full_p50" 'BEGIN {
         exit 1
     }
 }'
+
+echo "==> cluster scaling matrix + machine-readable bench results"
+# Fixed-seed clients x devices matrix through the sharded cluster; the
+# same run emits BENCH_loadgen.json, the machine-readable counterpart
+# of the text figures (hand-rolled JSON; the workspace carries no
+# serde).
+./target/release/repro loadgen --clients 2 --depth 4 --ops 32 --seed 42 \
+    --scale 0.00048828125 --devices 1,2,4 \
+    --json BENCH_loadgen.json > target/loadgen_cluster.txt
+grep -q 'cluster matrix' target/loadgen_cluster.txt
+# Device-parallel fan-out must pay off: 4 shards >= 2.5x one device at
+# the fixed smoke seed ($2 is the devices column, $5 is ops/s).
+sed -n '/cluster matrix/,$p' target/loadgen_cluster.txt | awk '
+    $2 == 1 { one = $5 } $2 == 4 { four = $5 }
+    END {
+        if (one + 0 <= 0 || four + 0 < 2.5 * one) {
+            print "error: 4-device ops/s " four " not >= 2.5x single-device " one
+            exit 1
+        }
+    }'
+# BENCH_loadgen.json: valid JSON when python3 is around, and every
+# top-level key present either way.
+if command -v python3 > /dev/null; then
+    python3 - << 'EOF'
+import json
+with open("BENCH_loadgen.json") as f:
+    doc = json.load(f)
+keys = ("schema", "config", "points", "parallel_sweep", "cache_sweep", "cluster_matrix")
+missing = [k for k in keys if k not in doc]
+assert not missing, f"BENCH_loadgen.json missing keys: {missing}"
+assert doc["schema"] == "nkv-bench-loadgen/1", doc["schema"]
+assert doc["cluster_matrix"], "cluster_matrix must not be empty with --devices"
+EOF
+else
+    for key in schema config points parallel_sweep cache_sweep cluster_matrix; do
+        grep -q "\"$key\"" BENCH_loadgen.json
+    done
+fi
+
+echo "==> repro CLI rejects bad --devices values"
+if ./target/release/repro loadgen --devices zero > /dev/null 2>&1; then
+    echo "error: non-numeric --devices must exit nonzero" >&2
+    exit 1
+fi
+if ./target/release/repro loadgen --devices 0 > /dev/null 2>&1; then
+    echo "error: --devices 0 must exit nonzero" >&2
+    exit 1
+fi
 
 echo "==> repro explain renders the lowered plan"
 ./target/release/repro explain refs 'year>=2010' --backend hybrid > target/explain.txt
