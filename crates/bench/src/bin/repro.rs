@@ -5,7 +5,9 @@
 //! cargo run --release -p bench --bin repro -- fig7a fig7b table1   # any subset, in order
 //! cargo run --release -p bench --bin repro -- loadgen [--clients 1,4,16] \
 //!     [--depth D] [--ops N] [--seed S] [--scale F] [--cache-mb M] \
-//!     [--devices 1,2,4] [--json out.json]
+//!     [--devices 1,2,4] [--json out.json] [--json-force] [--trace t.json]
+//! cargo run --release -p bench --bin repro -- profile [--devices 4] \
+//!     [--json BENCH_profile.json] [--trace t.json]
 //! cargo run --release -p bench --bin repro -- explain refs year>=2010 --backend hybrid
 //! ```
 //!
@@ -35,6 +37,8 @@ fn main() {
     let mut scale_set = false;
     let mut lg = bench::LoadgenConfig::default();
     let mut json_path: Option<String> = None;
+    let mut json_force = false;
+    let mut trace_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if !a.starts_with("--") {
@@ -88,6 +92,12 @@ fn main() {
             "--json" => {
                 json_path = Some(value("--json").to_string());
             }
+            "--json-force" => {
+                json_force = true;
+            }
+            "--trace" => {
+                trace_path = Some(value("--trace").to_string());
+            }
             other => die(&format!("unknown flag `{other}`")),
         }
     }
@@ -103,6 +113,22 @@ fn main() {
         ["all", "fig7a", "fig7b", "table1", "fig8", "fig9", "ablations", "profile", "loadgen"];
     if let Some(bad) = cmds.iter().find(|c| !KNOWN.contains(c)) {
         die(&format!("unknown experiment `{bad}`"));
+    }
+    // A non-default configuration refuses to clobber an existing --json
+    // artifact (the committed references are fixed-seed smoke runs);
+    // --json-force overrides for intentional regeneration.
+    let non_default = scale_set || lg != bench::LoadgenConfig::default();
+    if let Some(path) = &trace_path {
+        if !cmds.iter().any(|c| matches!(*c, "loadgen" | "profile")) {
+            die("--trace only applies to the loadgen and profile experiments");
+        }
+        if cmds.contains(&"loadgen") && lg.devices.is_empty() {
+            die("loadgen --trace needs --devices (the merged trace comes from the cluster run)");
+        }
+        // Probe writability up front so a bad path fails before the
+        // simulation time is spent, not after.
+        std::fs::File::create(path)
+            .unwrap_or_else(|e| die(&format!("cannot write --trace file {path}: {e}")));
     }
 
     for cmd in cmds {
@@ -121,8 +147,17 @@ fn main() {
             "fig8" => fig8(),
             "fig9" => fig9(),
             "ablations" => ablations(scale),
-            "profile" => profile(scale),
-            "loadgen" => loadgen(&lg, json_path.as_deref()),
+            "profile" => profile(
+                scale,
+                &lg,
+                json_path.as_deref(),
+                trace_path.as_deref(),
+                non_default,
+                json_force,
+            ),
+            "loadgen" => {
+                loadgen(&lg, json_path.as_deref(), trace_path.as_deref(), non_default, json_force)
+            }
             _ => unreachable!(),
         }
     }
@@ -166,7 +201,10 @@ fn die(msg: &str) -> ! {
         "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
          \x20            [--scale F | --full]\n\
          \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]\n\
-         \x20            [--cache-mb M] [--devices n[,n...]] [--json PATH]  (loadgen)\n\
+         \x20            [--cache-mb M] [--devices n[,n...]]\n\
+         \x20            [--json PATH] [--json-force] [--trace PATH]  (loadgen, profile)\n\
+         \x20            loadgen --devices ... --trace t.json writes the merged cluster\n\
+         \x20            trace; profile --devices N adds the fleet ClusterStats fold\n\
          \x20      repro explain <table> <query...> [--backend sw|hw|hybrid] [--cache-mb M]\n\
          \x20            e.g. explain refs year>=2010 --backend hw; explain papers get 42"
     );
@@ -288,7 +326,14 @@ fn fig9() {
     );
 }
 
-fn profile(scale: f64) {
+fn profile(
+    scale: f64,
+    lg: &bench::LoadgenConfig,
+    json_path: Option<&str>,
+    trace_path: Option<&str>,
+    non_default: bool,
+    json_force: bool,
+) {
     header("Profile — where the device time goes (observability stack)");
     println!("building the database with metrics + tracing enabled ...");
     let p = figures::profile(scale, 16);
@@ -331,18 +376,65 @@ fn profile(scale: f64) {
         p.trace_events,
         p.trace_json.len()
     );
+
+    // Fleet-scope profile: the same workload over an N-device cluster,
+    // folded through ClusterStats and the merged multi-device trace.
+    let fleet_devices = lg.devices.iter().copied().max();
+    let mut fleet_trace = None;
+    if let Some(d) = fleet_devices {
+        println!("\n  --- fleet profile ({d} hash-sharded devices) ---");
+        let fp = figures::cluster_profile(scale, 16, d);
+        println!("  {}", fp.stats.to_string().replace('\n', "\n  "));
+        fleet_trace = Some(fp.trace_json);
+    }
+    if let Some(path) = trace_path {
+        // With --devices the merged cluster flame graph wins; without,
+        // the single-device trace is exported directly.
+        let json = fleet_trace.as_deref().unwrap_or(&p.trace_json);
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| die(&format!("cannot write --trace file {path}: {e}")));
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = json_path {
+        let b = figures::profile_bench(scale, lg.seed, fleet_devices.unwrap_or(4));
+        write_artifact(path, &bench::json::profile_bench_json(&b), non_default, json_force);
+    }
 }
 
-fn loadgen(cfg: &bench::LoadgenConfig, json_path: Option<&str>) {
+fn loadgen(
+    cfg: &bench::LoadgenConfig,
+    json_path: Option<&str>,
+    trace_path: Option<&str>,
+    non_default: bool,
+    json_force: bool,
+) {
     header("Loadgen — closed-loop multi-client throughput (beyond-paper)");
     println!("building one database per client count ...");
-    let fig = bench::loadgen::loadgen(cfg);
+    let (fig, trace) = bench::loadgen::loadgen_traced(cfg, trace_path.is_some());
     print!("{}", bench::loadgen::render(&fig));
     if let Some(path) = json_path {
-        let json = bench::loadgen::bench_json(&fig);
-        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        eprintln!("wrote machine-readable results to {path}");
+        write_artifact(path, &bench::loadgen::bench_json(&fig), non_default, json_force);
     }
+    if let (Some(path), Some(json)) = (trace_path, trace) {
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| die(&format!("cannot write --trace file {path}: {e}")));
+        eprintln!("wrote merged cluster trace to {path}");
+    }
+}
+
+/// Write a `BENCH_*.json` artifact, refusing to clobber an existing file
+/// from a non-default configuration unless `--json-force` was given —
+/// the committed references must not silently pick up numbers from a
+/// non-smoke run.
+fn write_artifact(path: &str, json: &str, non_default: bool, force: bool) {
+    if non_default && !force && std::path::Path::new(path).exists() {
+        die(&format!(
+            "refusing to overwrite existing {path} with a non-default configuration's \
+             results; pass --json-force to replace it"
+        ));
+    }
+    std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote machine-readable results to {path}");
 }
 
 fn ablations(scale: f64) {

@@ -24,6 +24,46 @@ pub struct Dataset {
     pub scale: f64,
 }
 
+/// The papers table's configuration (1 paper-PE, the paper's C1 churn
+/// shape) — shared between the single-device builder and the cluster
+/// experiments so every experiment runs the identical table.
+pub fn paper_table_config(variant: PeVariant) -> TableConfig {
+    let module = ndp_spec::parse(PAPER_REF_SPEC).expect("bundled spec parses");
+    let paper_pe = elaborate(&module, PAPER_PE).expect("bundled spec elaborates");
+    let mut cfg = TableConfig::new(paper_pe);
+    cfg.n_pes = 1;
+    cfg.variant = variant;
+    // Keep C1 shaped like the paper's system under churn: several
+    // overlapping SSTs before compaction kicks in.
+    cfg.lsm.c1_sst_limit = 12;
+    cfg
+}
+
+/// The refs table's configuration (7 ref-PEs, duplicate source keys).
+pub fn ref_table_config(variant: PeVariant) -> TableConfig {
+    let module = ndp_spec::parse(PAPER_REF_SPEC).expect("bundled spec parses");
+    let ref_pe = elaborate(&module, REF_PE).expect("bundled spec elaborates");
+    let mut cfg = TableConfig::new(ref_pe);
+    cfg.n_pes = 7;
+    cfg.variant = variant;
+    cfg.unique_keys = false; // edge table keyed by source id
+    cfg
+}
+
+/// Every paper record at `cfg`'s scale, encoded and in bulk-load order.
+/// For experiments that load the same dataset repeatedly (the cluster
+/// matrix builds one fleet per cell); the single-device builder streams
+/// instead.
+pub fn paper_records(cfg: PubGraphConfig) -> Vec<Vec<u8>> {
+    PaperGen::new(cfg)
+        .map(|p| {
+            let mut buf = Vec::with_capacity(80);
+            p.encode_into(&mut buf);
+            buf
+        })
+        .collect()
+}
+
 /// Build a device with the paper's PE population (1 paper-PE, 7 ref-PEs)
 /// and bulk-load the publication graph at `scale` (1.0 = the paper's
 /// 3.78 M papers / 40.1 M refs ≈ 1.10 GB).
@@ -32,29 +72,13 @@ pub struct Dataset {
 /// bounded channel, so multi-gigabyte datasets stream without
 /// materialization.
 pub fn build_db(scale: f64, kind: DbKind) -> Dataset {
-    let module = ndp_spec::parse(PAPER_REF_SPEC).expect("bundled spec parses");
-    let paper_pe = elaborate(&module, PAPER_PE).expect("bundled spec elaborates");
-    let ref_pe = elaborate(&module, REF_PE).expect("bundled spec elaborates");
-
     let (variant, firmware) = match kind {
         DbKind::Ours => (PeVariant::Generated, FirmwareEra::Updated),
         DbKind::Baseline => (PeVariant::HandCrafted, FirmwareEra::Original),
     };
     let mut db = NkvDb::new(CosmosConfig { firmware, ..CosmosConfig::default() });
-
-    let mut papers_cfg = TableConfig::new(paper_pe);
-    papers_cfg.n_pes = 1;
-    papers_cfg.variant = variant;
-    // Keep C1 shaped like the paper's system under churn: several
-    // overlapping SSTs before compaction kicks in.
-    papers_cfg.lsm.c1_sst_limit = 12;
-    db.create_table("papers", papers_cfg).expect("table config is valid");
-
-    let mut refs_cfg = TableConfig::new(ref_pe);
-    refs_cfg.n_pes = 7;
-    refs_cfg.variant = variant;
-    refs_cfg.unique_keys = false; // edge table keyed by source id
-    db.create_table("refs", refs_cfg).expect("table config is valid");
+    db.create_table("papers", paper_table_config(variant)).expect("table config is valid");
+    db.create_table("refs", ref_table_config(variant)).expect("table config is valid");
 
     let cfg = PubGraphConfig::scaled(scale);
     load_streaming(&mut db, "papers", cfg, true);

@@ -24,6 +24,7 @@ pub mod dataset;
 pub mod explain;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod loadgen;
 
 pub use dataset::{build_db, Dataset, DbKind};

@@ -14,18 +14,20 @@
 //! so a `(seed, scale, clients, depth, ops)` tuple reproduces
 //! byte-identical tables (used by `scripts/check.sh`'s smoke diff).
 
-use crate::dataset::{build_db, DbKind};
-use cosmos_sim::ns_to_secs;
-use ndp_ir::elaborate;
+use crate::dataset::{build_db, paper_records, paper_table_config, DbKind};
+use crate::json::{json_num, json_str};
+use cosmos_sim::{chrome_trace_json_cluster, ns_to_secs};
 use ndp_pe::oracle::FilterRule;
 use ndp_pe::template::PeVariant;
-use ndp_workload::spec::{paper_lanes, ref_lanes, PAPER_PE, PAPER_REF_SPEC};
+use ndp_workload::spec::{paper_lanes, ref_lanes};
 use ndp_workload::{PaperGen, PubGraphConfig, SplitMix64};
 use nkv::queue::{ClientScript, QueueRunConfig, QueuedOp};
-use nkv::{ClusterConfig, ExecMode, LatencyHistogram, NkvCluster, TableConfig};
+use nkv::{ClusterConfig, ExecMode, LatencyHistogram, NkvCluster};
 
-/// Parameters of one loadgen sweep.
-#[derive(Debug, Clone)]
+/// Parameters of one loadgen sweep. `PartialEq` backs the `repro`
+/// binary's overwrite guard: a non-default configuration refuses to
+/// clobber an existing `--json` artifact without `--json-force`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadgenConfig {
     /// Dataset scale (1.0 = the paper's full volume).
     pub scale: f64,
@@ -111,7 +113,7 @@ pub struct CacheSweepPoint {
 /// One cell of the clients x devices cluster matrix: the same seeded
 /// client scripts pushed through an [`NkvCluster`] of `devices`
 /// hash-sharded Cosmos+ instances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterMatrixPoint {
     pub clients: u32,
     pub devices: usize,
@@ -170,6 +172,12 @@ pub fn client_script(cfg: &PubGraphConfig, seed: u64, client: u32, ops: u32) -> 
 /// are independent and each run starts from the identical bulk-loaded
 /// state), hardware execution mode throughout.
 pub fn loadgen(cfg: &LoadgenConfig) -> LoadgenFigure {
+    loadgen_traced(cfg, false).0
+}
+
+/// [`loadgen`] plus the optional merged cluster trace from
+/// [`cluster_matrix_traced`] (requires a non-empty `cfg.devices`).
+pub fn loadgen_traced(cfg: &LoadgenConfig, trace: bool) -> (LoadgenFigure, Option<String>) {
     let mut points = Vec::with_capacity(cfg.clients.len());
     for &n in &cfg.clients {
         let mut ds = build_db(cfg.scale, DbKind::Ours);
@@ -190,8 +198,8 @@ pub fn loadgen(cfg: &LoadgenConfig) -> LoadgenFigure {
     }
     let sweep = parallel_sweep(cfg.scale, &[0, 1, 2, 4]);
     let cache = if cfg.cache_mb > 0 { cache_sweep(cfg.scale, cfg.cache_mb) } else { Vec::new() };
-    let cluster = cluster_matrix(cfg);
-    LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster }
+    let (cluster, trace_json) = cluster_matrix_traced(cfg, trace);
+    (LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster }, trace_json)
 }
 
 /// Run the clients x devices cluster matrix: for every `(clients,
@@ -202,34 +210,44 @@ pub fn loadgen(cfg: &LoadgenConfig) -> LoadgenFigure {
 /// is deterministic). Empty `cfg.devices` skips the matrix — the default
 /// loadgen output must stay byte-identical to the single-device table.
 pub fn cluster_matrix(cfg: &LoadgenConfig) -> Vec<ClusterMatrixPoint> {
+    cluster_matrix_traced(cfg, false).0
+}
+
+/// [`cluster_matrix`] plus an optional merged Chrome trace: when
+/// `trace` is on, the *last* cell (largest device count of the last
+/// client row — the most interesting flame graph) runs with cluster
+/// observability enabled, and its merged multi-device trace JSON is
+/// returned alongside the rows. Tracing is timing-invisible, so every
+/// cell's numbers are byte-identical either way.
+pub fn cluster_matrix_traced(
+    cfg: &LoadgenConfig,
+    trace: bool,
+) -> (Vec<ClusterMatrixPoint>, Option<String>) {
     let mut rows = Vec::new();
     if cfg.devices.is_empty() {
-        return rows;
+        return (rows, None);
     }
-    let module = ndp_spec::parse(PAPER_REF_SPEC).expect("bundled spec parses");
-    let paper_pe = elaborate(&module, PAPER_PE).expect("bundled spec elaborates");
-    let mut papers_cfg = TableConfig::new(paper_pe);
-    papers_cfg.n_pes = 1;
-    papers_cfg.variant = PeVariant::Generated;
-    papers_cfg.lsm.c1_sst_limit = 12;
+    let papers_cfg = paper_table_config(PeVariant::Generated);
     let pub_cfg = PubGraphConfig::scaled(cfg.scale);
-    let records: Vec<Vec<u8>> = PaperGen::new(pub_cfg)
-        .map(|p| {
-            let mut buf = Vec::with_capacity(80);
-            p.encode_into(&mut buf);
-            buf
-        })
-        .collect();
-    for &n in &cfg.clients {
+    let records = paper_records(pub_cfg);
+    let cells = cfg.clients.len() * cfg.devices.len();
+    let mut trace_json = None;
+    for (i, &n) in cfg.clients.iter().enumerate() {
         let scripts: Vec<ClientScript> =
             (0..n).map(|c| client_script(&pub_cfg, cfg.seed, c, cfg.ops_per_client)).collect();
-        for &d in &cfg.devices {
+        for (j, &d) in cfg.devices.iter().enumerate() {
             let mut cluster =
                 NkvCluster::new(ClusterConfig { devices: d, ..ClusterConfig::default() })
                     .expect("cluster config is valid");
+            let last_cell = i * cfg.devices.len() + j + 1 == cells;
             cluster.create_table("papers", papers_cfg.clone()).expect("table config is valid");
             cluster.bulk_load("papers", records.clone()).expect("bulk load succeeds");
             cluster.persist().expect("persist succeeds");
+            // Enable after the load so the flame graph shows the queued
+            // run, not a million bulk-load flash programs.
+            if trace && last_cell {
+                cluster.enable_observability(1 << 20);
+            }
             let run_cfg = QueueRunConfig { depth: cfg.depth, ..QueueRunConfig::default() };
             let report =
                 cluster.run_queued("papers", &scripts, &run_cfg).expect("queued run succeeds");
@@ -241,9 +259,13 @@ pub fn cluster_matrix(cfg: &LoadgenConfig) -> Vec<ClusterMatrixPoint> {
                 ops_per_sec: report.throughput_ops_per_sec(),
                 latency: report.latency.tail_summary(),
             });
+            if trace && last_cell {
+                let (devices, router) = cluster.take_cluster_trace();
+                trace_json = Some(chrome_trace_json_cluster(&devices, &router));
+            }
         }
     }
-    rows
+    (rows, trace_json)
 }
 
 /// Sweep the refs-table SCAN over parallel PE job-stream counts on one
@@ -396,47 +418,20 @@ pub fn render(fig: &LoadgenFigure) -> String {
     out
 }
 
-/// Escape a string for a JSON literal (the latency summaries only carry
-/// ASCII, but stay safe anyway).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Format an `f64` as a JSON number (`null` for the non-finite values
-/// JSON cannot carry).
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
-
 /// Render the figure as machine-readable JSON (`BENCH_loadgen.json` in
-/// `scripts/check.sh`). Hand-rolled — the workspace carries no serde —
-/// and stable: same seed, same bytes, keys always present (empty sweeps
-/// are empty arrays, not missing keys).
+/// `scripts/check.sh`). Hand-rolled through [`crate::json`] — the
+/// workspace carries no serde — and stable: same seed, same bytes, keys
+/// always present (empty sweeps are empty arrays, not missing keys).
+/// Schema v2 added the top-level `seed` stamp every `BENCH_*.json`
+/// carries.
 pub fn bench_json(fig: &LoadgenFigure) -> String {
     use std::fmt::Write as _;
     let join = |items: Vec<String>| items.join(", ");
     let c = &fig.cfg;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/1\",");
+    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/2\",");
+    let _ = writeln!(out, "  \"seed\": {},", c.seed);
     let _ = writeln!(out, "  \"config\": {{");
     let _ = writeln!(out, "    \"scale\": {},", json_num(c.scale));
     let _ = writeln!(
@@ -635,6 +630,31 @@ mod tests {
     }
 
     #[test]
+    fn traced_matrix_matches_untraced_rows_and_emits_a_merged_trace() {
+        let cfg = LoadgenConfig {
+            scale: SCALE,
+            clients: vec![2],
+            depth: 4,
+            ops_per_client: 24,
+            seed: 42,
+            cache_mb: 0,
+            devices: vec![1, 2],
+        };
+        let (rows, trace) = cluster_matrix_traced(&cfg, true);
+        // Observability is timing-invisible: the traced rows are the
+        // untraced rows.
+        assert_eq!(rows, cluster_matrix(&cfg), "tracing must not move the numbers");
+        let json = trace.expect("last cell traced");
+        // Both devices of the 2-shard cell appear in their own pid
+        // namespaces, and the router narrates the fan-out.
+        assert!(json.contains(&format!("\"pid\":{}", cosmos_sim::DEVICE_PID_STRIDE + 100)));
+        assert!(json.contains(&format!("\"pid\":{}", cosmos_sim::ROUTER_PID)));
+        assert!(json.contains("router_fanout"), "{}", &json[..json.len().min(400)]);
+        assert!(json.contains("router_merge"));
+        assert!(cluster_matrix_traced(&cfg, false).1.is_none(), "no trace unless asked");
+    }
+
+    #[test]
     fn bench_json_is_wellformed_and_carries_every_section() {
         let cfg = LoadgenConfig {
             scale: SCALE,
@@ -648,6 +668,7 @@ mod tests {
         let json = bench_json(&loadgen(&cfg));
         for key in [
             "\"schema\"",
+            "\"seed\"",
             "\"config\"",
             "\"points\"",
             "\"parallel_sweep\"",
@@ -656,7 +677,8 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key}: {json}");
         }
-        assert!(json.contains("\"nkv-bench-loadgen/1\""), "{json}");
+        assert!(json.contains("\"nkv-bench-loadgen/2\""), "{json}");
+        assert!(json.contains("\"seed\": 7,"), "{json}");
         assert!(json.contains("\"devices\": [1, 2]"), "{json}");
         assert!(json.contains("\"cache_sweep\": []"), "cache off is an empty array: {json}");
         // Structural sanity without a JSON parser in the workspace: the

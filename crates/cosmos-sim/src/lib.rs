@@ -57,7 +57,10 @@ pub use flash::{FlashArray, FlashConfig, FlashError, PhysAddr};
 pub use platform::{CosmosConfig, CosmosPlatform, FirmwareEra};
 pub use queue::{NvmeQueueConfig, NvmeQueues, QueuePair, QueueStats, CQE_BYTES, SQE_BYTES};
 pub use server::{BandwidthLink, Server};
-pub use trace::{chrome_trace_json, TraceEvent, TraceKind, TraceRing};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_cluster, DeviceTrace, RouterSpan, RouterSpanKind,
+    TraceEvent, TraceKind, TraceRing, DEVICE_PID_STRIDE, ROUTER_PID,
+};
 
 /// Simulated time in nanoseconds.
 pub type SimNs = u64;

@@ -18,6 +18,16 @@
 //! array" flavor): each flash channel and each PE renders as its own
 //! "process" row, LUNs and clients as threads, so a whole SCAN can be
 //! opened in a trace viewer.
+//!
+//! [`chrome_trace_json_cluster`] is the fleet-scope variant: it merges
+//! the drained rings of N devices into *one* trace by namespacing each
+//! device's pids (device `i` offsets every pid by
+//! [`DEVICE_PID_STRIDE`]` * i`), and interleaves the host router's
+//! synthetic spans ([`RouterSpan`]: fan-out, per-shard wait, merge) on
+//! their own process row, so one cluster query reads as a single flame
+//! graph. The export carries a `metadata` object with the device count
+//! and the total spans dropped to ring overflow — a truncated trace is
+//! labelled, never silent.
 
 use crate::dram::DramClient;
 use crate::SimNs;
@@ -177,6 +187,22 @@ fn name_cat_args(kind: &TraceKind) -> (&'static str, &'static str, String) {
     }
 }
 
+/// Write one device span as a Chrome complete event, with every pid
+/// shifted by `pid_offset` (0 keeps the single-device layout).
+fn write_event(out: &mut String, ev: &TraceEvent, pid_offset: u64) {
+    let (name, cat, args) = name_cat_args(&ev.kind);
+    let (pid, tid) = pid_tid(&ev.kind);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+         \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{{args}}}}}",
+        ts = ev.start as f64 / 1000.0,
+        dur = ev.dur as f64 / 1000.0,
+        pid = pid + pid_offset,
+    );
+}
+
 /// Render spans as Chrome `trace_event` JSON (complete events, `ph:"X"`,
 /// timestamps in microseconds of simulated time). Field order is stable;
 /// events render in the order given.
@@ -187,18 +213,110 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let (name, cat, args) = name_cat_args(&ev.kind);
-        let (pid, tid) = pid_tid(&ev.kind);
-        let _ = write!(
-            out,
-            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
-             \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\
-             \"args\":{{{args}}}}}",
-            ts = ev.start as f64 / 1000.0,
-            dur = ev.dur as f64 / 1000.0,
-        );
+        write_event(&mut out, ev, 0);
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Pid distance between the namespaces of adjacent devices in a merged
+/// cluster trace: device `i`'s spans render with `pid + 1000 * i`, so
+/// device 0 keeps the documented single-device layout exactly.
+pub const DEVICE_PID_STRIDE: u64 = 1000;
+
+/// Process id of the host-side router row in a merged cluster trace.
+/// Chosen inside device 0's namespace but clear of every span pid the
+/// device model emits (100–699).
+pub const ROUTER_PID: u64 = 900;
+
+/// What a synthetic host-router span describes. These are not measured
+/// device activity: the router runs host-side and charges no simulated
+/// device time of its own, but rendering its fan-out/wait/merge
+/// structure makes a cluster query read as one flame graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterSpanKind {
+    /// The router dispatched one logical operation to `shards` shards.
+    FanOut { shards: u32 },
+    /// The router waited on shard `shard` for its part of the fan-out.
+    ShardWait { shard: u32 },
+    /// The router merged `shards` shard results into the reply.
+    Merge { shards: u32 },
+}
+
+/// One synthetic router span on the cluster trace's router row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterSpan {
+    pub kind: RouterSpanKind,
+    /// Span start on the router's virtual timeline, simulated ns.
+    pub start: SimNs,
+    /// Span duration, simulated ns.
+    pub dur: SimNs,
+}
+
+/// One device's contribution to a merged cluster trace: its drained
+/// spans plus the ring-overflow count at drain time.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceTrace {
+    /// Device (shard) index; decides the pid namespace.
+    pub device: u32,
+    /// Drained spans, device-local simulated time.
+    pub events: Vec<TraceEvent>,
+    /// Spans this device evicted to ring overflow before the drain.
+    pub dropped_spans: u64,
+}
+
+fn write_router_span(out: &mut String, span: &RouterSpan) {
+    let (name, tid, args) = match span.kind {
+        RouterSpanKind::FanOut { shards } => ("router_fanout", 1, format!("\"shards\":{shards}")),
+        RouterSpanKind::Merge { shards } => ("router_merge", 2, format!("\"shards\":{shards}")),
+        RouterSpanKind::ShardWait { shard } => {
+            ("router_shard_wait", 10 + u64::from(shard), format!("\"shard\":{shard}"))
+        }
+    };
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"router\",\"ph\":\"X\",\
+         \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{ROUTER_PID},\"tid\":{tid},\
+         \"args\":{{{args}}}}}",
+        ts = span.start as f64 / 1000.0,
+        dur = span.dur as f64 / 1000.0,
+    );
+}
+
+/// Render a merged multi-device trace: every device's spans with its
+/// pid namespace ([`DEVICE_PID_STRIDE`]` * device`), the router's
+/// synthetic spans on pid [`ROUTER_PID`], and a `metadata` object
+/// carrying the device count and the total ring-overflow drops (so a
+/// truncated trace is visibly labelled). Field order is stable.
+pub fn chrome_trace_json_cluster(devices: &[DeviceTrace], router: &[RouterSpan]) -> String {
+    let total: usize = devices.iter().map(|d| d.events.len()).sum::<usize>() + router.len();
+    let mut out = String::with_capacity(total * 128 + 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for dev in devices {
+        let offset = DEVICE_PID_STRIDE * u64::from(dev.device);
+        for ev in &dev.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_event(&mut out, ev, offset);
+        }
+    }
+    for span in router {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_router_span(&mut out, span);
+    }
+    let dropped: u64 = devices.iter().map(|d| d.dropped_spans).sum();
+    let _ = write!(
+        out,
+        "],\"metadata\":{{\"devices\":{},\"dropped_spans\":{dropped}}},\
+         \"displayTimeUnit\":\"ns\"}}",
+        devices.len(),
+    );
     out
 }
 
@@ -289,5 +407,72 @@ mod tests {
         assert!(json.contains("\"name\":\"queue_submit\",\"cat\":\"queue\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":503,\"tid\":1"));
         assert!(json.contains("\"name\":\"queue_complete\",\"cat\":\"queue\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.001,\"pid\":503,\"tid\":2"));
         assert!(json.contains("\"args\":{\"qid\":3,\"cid\":17}"));
+    }
+
+    #[test]
+    fn cluster_export_namespaces_pids_per_device() {
+        let ev = |ch: u16, start: SimNs| TraceEvent {
+            kind: TraceKind::FlashRead { channel: ch, lun: 0 },
+            start,
+            dur: 70_000,
+        };
+        let devices = [
+            DeviceTrace { device: 0, events: vec![ev(2, 0)], dropped_spans: 0 },
+            DeviceTrace { device: 1, events: vec![ev(2, 100)], dropped_spans: 3 },
+            DeviceTrace { device: 3, events: vec![ev(0, 200)], dropped_spans: 0 },
+        ];
+        let json = chrome_trace_json_cluster(&devices, &[]);
+        // Device 0 keeps the single-device layout; devices 1 and 3 shift
+        // by the stride.
+        assert!(json.contains("\"pid\":102,"), "{json}");
+        assert!(json.contains("\"pid\":1102,"), "{json}");
+        assert!(json.contains("\"pid\":3100,"), "{json}");
+        assert!(
+            json.contains("\"metadata\":{\"devices\":3,\"dropped_spans\":3}"),
+            "overflow must be labelled in the export: {json}"
+        );
+        assert!(json.ends_with("\"displayTimeUnit\":\"ns\"}"), "{json}");
+    }
+
+    #[test]
+    fn cluster_export_renders_router_spans_on_their_own_process() {
+        let router = [
+            RouterSpan { kind: RouterSpanKind::FanOut { shards: 4 }, start: 0, dur: 1_000 },
+            RouterSpan { kind: RouterSpanKind::ShardWait { shard: 2 }, start: 1_000, dur: 50_000 },
+            RouterSpan { kind: RouterSpanKind::Merge { shards: 4 }, start: 51_000, dur: 1_000 },
+        ];
+        let json = chrome_trace_json_cluster(&[], &router);
+        assert!(
+            json.contains(
+                "{\"name\":\"router_fanout\",\"cat\":\"router\",\"ph\":\"X\",\
+                 \"ts\":0.000,\"dur\":1.000,\"pid\":900,\"tid\":1,\"args\":{\"shards\":4}}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"router_shard_wait\"") && json.contains("\"tid\":12,"),
+            "shard 2's wait renders on tid 12: {json}"
+        );
+        assert!(
+            json.contains("\"name\":\"router_merge\"") && json.contains("\"tid\":2,"),
+            "{json}"
+        );
+        assert!(json.contains("\"metadata\":{\"devices\":0,\"dropped_spans\":0}"), "{json}");
+    }
+
+    #[test]
+    fn cluster_export_with_one_unshifted_device_matches_single_device_events() {
+        let evs = vec![
+            TraceEvent { kind: TraceKind::NvmeTransfer { bytes: 80 }, start: 10, dur: 67 },
+            TraceEvent { kind: TraceKind::PeJob { pe: 1, cycles: 9 }, start: 80, dur: 90 },
+        ];
+        let single = chrome_trace_json(&evs);
+        let cluster = chrome_trace_json_cluster(
+            &[DeviceTrace { device: 0, events: evs, dropped_spans: 0 }],
+            &[],
+        );
+        // Same events section; the cluster export only appends metadata.
+        let body = single.strip_suffix("],\"displayTimeUnit\":\"ns\"}").unwrap();
+        assert!(cluster.starts_with(body), "single {single} vs cluster {cluster}");
     }
 }

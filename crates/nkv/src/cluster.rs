@@ -39,15 +39,21 @@
 use crate::db::{NkvDb, TableConfig};
 use crate::error::{NkvError, NkvResult};
 use crate::exec::ResilienceConfig;
-use crate::metrics::LatencyHistogram;
+use crate::metrics::{fmt_ns, DeviceStats, LatencyHistogram, MetricsRegistry, OpKind};
 use crate::plan::{Backend, LogicalOp, PlanOutcome};
 use crate::queue::{ClientScript, QueueRunConfig, QueuedOp};
 use cosmos_sim::{
-    ns_to_secs, CosmosConfig, CosmosPlatform, DeviceAdmission, DeviceFaultKind, DeviceFaultPlan,
-    DeviceFaultStats, SimNs,
+    ns_to_secs, CacheStats, CosmosConfig, CosmosPlatform, DeviceAdmission, DeviceFaultKind,
+    DeviceFaultPlan, DeviceFaultStats, DeviceTrace, RouterSpan, RouterSpanKind, SimNs,
 };
 use ndp_pe::oracle::FilterRule;
 use std::fmt;
+
+/// Simulated cost of one router dispatch/merge step (the host-side hop
+/// a fan-out pays before and after the devices run). Purely a trace
+/// annotation: it is *never* added to any operation's reported time, so
+/// enabling cluster observability stays timing-invisible.
+const ROUTER_DISPATCH_NS: SimNs = 1_000;
 
 /// How keys are placed onto shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -456,6 +462,126 @@ impl fmt::Display for ClusterHealthReport {
     }
 }
 
+/// One shard's full observability snapshot inside a [`ClusterStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStatsRow {
+    /// Shard index.
+    pub shard: usize,
+    /// FSM state at snapshot time.
+    pub state: ShardState,
+    /// The shard device's own [`DeviceStats`] (metrics + health + cache
+    /// + dropped trace spans).
+    pub stats: DeviceStats,
+}
+
+/// Fleet-wide metrics snapshot ([`NkvCluster::cluster_stats`]): every
+/// shard's [`DeviceStats`] plus the cross-shard fold.
+///
+/// The merged registry is exact — log-bucket histograms merge
+/// bucket-wise ([`LatencyHistogram::merge`]) and breakdowns add — so
+/// fleet quantiles equal the quantiles of every shard's samples
+/// concatenated (the property test pins this). `busy_skew` is the
+/// max/median ratio of per-shard total busy time: ~1.0 means placement
+/// spread load evenly, >>1 flags a hot shard for the future rebalancer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Per-shard rows, by shard index.
+    pub shards: Vec<ShardStatsRow>,
+    /// Cross-shard fold of every shard's metrics registry.
+    pub merged: MetricsRegistry,
+    /// Summed block-cache counters (`None` when no shard has a cache).
+    pub merged_cache: Option<CacheStats>,
+    /// Trace spans lost to ring overflow, summed over shards.
+    pub dropped_spans: u64,
+    /// Router-level retries across all shards.
+    pub router_retries: u64,
+    /// Backoff nanoseconds the router charged to operations.
+    pub router_backoff_ns: u64,
+    /// Max/median per-shard busy time (0.0 when the median is zero —
+    /// an idle or untraced fleet has no meaningful skew).
+    pub busy_skew: f64,
+}
+
+impl ClusterStats {
+    /// Total operations recorded across the fleet.
+    pub fn total_ops(&self) -> u64 {
+        self.merged.total_ops()
+    }
+
+    /// Fleet-wide cache hit rate in `[0, 1]` (0.0 with no cache or no
+    /// lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.merged_cache.as_ref().map_or(0.0, |c| c.hit_rate())
+    }
+}
+
+impl fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster stats: {} shards, {} ops, busy skew {:.2}x",
+            self.shards.len(),
+            self.total_ops(),
+            self.busy_skew,
+        )?;
+        for row in &self.shards {
+            let b = row.stats.metrics.total_breakdown();
+            write!(
+                f,
+                "  shard {} [{}]: ops={} busy={} (flash={} dram={} pe={} cfg={} nvme={})",
+                row.shard,
+                row.state,
+                row.stats.metrics.total_ops(),
+                fmt_ns(b.total()),
+                fmt_ns(b.flash_ns),
+                fmt_ns(b.dram_ns),
+                fmt_ns(b.pe_ns),
+                fmt_ns(b.cfg_ns),
+                fmt_ns(b.nvme_ns),
+            )?;
+            if let Some(c) = &row.stats.cache {
+                write!(f, " cache_hits={} ({:.1}%)", c.hits, c.hit_rate() * 100.0)?;
+            }
+            if row.stats.dropped_spans > 0 {
+                write!(f, " dropped_spans={}", row.stats.dropped_spans)?;
+            }
+            writeln!(f)?;
+        }
+        for kind in OpKind::ALL {
+            let m = self.merged.op(kind);
+            if m.ops == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  merged {:<11} ops={} bytes={} {}",
+                kind.name(),
+                m.ops,
+                m.bytes,
+                m.hist.percentile_summary(),
+            )?;
+        }
+        if let Some(c) = &self.merged_cache {
+            writeln!(
+                f,
+                "  merged cache: lookups={} hits={} ({:.1}%) misses={}",
+                c.lookups,
+                c.hits,
+                c.hit_rate() * 100.0,
+                c.misses,
+            )?;
+        }
+        if self.dropped_spans > 0 {
+            writeln!(f, "  merged trace: dropped_spans={} (ring overflowed)", self.dropped_spans)?;
+        }
+        write!(
+            f,
+            "  router: {} retries (+{} ns backoff)",
+            self.router_retries, self.router_backoff_ns
+        )
+    }
+}
+
 /// Why a shard call failed, split into the two classes the router
 /// treats differently.
 enum ShardCallError {
@@ -561,6 +687,15 @@ pub struct NkvCluster {
     table_configs: Vec<(String, TableConfig)>,
     router_retries: u64,
     router_backoff_ns: u64,
+    /// Whether router spans are recorded (set by
+    /// [`NkvCluster::enable_observability`]).
+    trace_router: bool,
+    /// The router's own virtual timeline: fan-outs of successive ops
+    /// are laid out back to back so the merged flame graph reads as a
+    /// sequence, independent of any shard's device clock.
+    router_clock: SimNs,
+    /// Synthetic fan-out / per-shard-wait / merge spans recorded so far.
+    router_spans: Vec<RouterSpan>,
 }
 
 impl NkvCluster {
@@ -608,7 +743,29 @@ impl NkvCluster {
                 fsm: HealthFsm::new(cfg.health),
             })
             .collect();
-        Ok(Self { cfg, shards, table_configs: Vec::new(), router_retries: 0, router_backoff_ns: 0 })
+        Ok(Self {
+            cfg,
+            shards,
+            table_configs: Vec::new(),
+            router_retries: 0,
+            router_backoff_ns: 0,
+            trace_router: false,
+            router_clock: 0,
+            router_spans: Vec::new(),
+        })
+    }
+
+    /// Turn on the full fleet observability stack: op metrics plus
+    /// event tracing on every shard device (each ring holds up to
+    /// `trace_capacity` spans), and synthetic router spans on the
+    /// router's own virtual timeline. Timing-invisible like the
+    /// single-device stack: every reported `sim_ns` is byte-identical
+    /// to an unobserved cluster.
+    pub fn enable_observability(&mut self, trace_capacity: usize) {
+        for shard in &mut self.shards {
+            shard.db.enable_observability(trace_capacity);
+        }
+        self.trace_router = true;
     }
 
     /// Number of devices.
@@ -705,6 +862,108 @@ impl NkvCluster {
             router_retries: self.router_retries,
             router_backoff_ns: self.router_backoff_ns,
         }
+    }
+
+    /// Fleet-wide metrics snapshot: every shard's [`DeviceStats`] plus
+    /// the exact cross-shard fold (see [`ClusterStats`]).
+    pub fn cluster_stats(&self) -> ClusterStats {
+        let shards: Vec<ShardStatsRow> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStatsRow {
+                shard: i,
+                state: s.fsm.state,
+                stats: s.db.device_stats(),
+            })
+            .collect();
+        let mut merged = MetricsRegistry::new();
+        let mut merged_cache: Option<CacheStats> = None;
+        let mut dropped_spans = 0;
+        let mut busy: Vec<SimNs> = Vec::with_capacity(shards.len());
+        for row in &shards {
+            merged.merge(&row.stats.metrics);
+            dropped_spans += row.stats.dropped_spans;
+            busy.push(row.stats.metrics.total_breakdown().total());
+            if let Some(c) = &row.stats.cache {
+                let acc = merged_cache.get_or_insert_with(CacheStats::default);
+                acc.lookups += c.lookups;
+                acc.hits += c.hits;
+                acc.misses += c.misses;
+                acc.insertions += c.insertions;
+                acc.evictions += c.evictions;
+                acc.invalidations += c.invalidations;
+                acc.hit_bytes += c.hit_bytes;
+            }
+        }
+        let max = busy.iter().copied().max().unwrap_or(0);
+        busy.sort_unstable();
+        let median = busy[busy.len() / 2];
+        let busy_skew = if median == 0 { 0.0 } else { max as f64 / median as f64 };
+        ClusterStats {
+            shards,
+            merged,
+            merged_cache,
+            dropped_spans,
+            router_retries: self.router_retries,
+            router_backoff_ns: self.router_backoff_ns,
+            busy_skew,
+        }
+    }
+
+    /// Drain every shard's trace buffer plus the router's synthetic
+    /// spans, ready for one merged Chrome export via
+    /// [`cosmos_sim::chrome_trace_json_cluster`] (device `i`'s pids are
+    /// offset by `DEVICE_PID_STRIDE * i` there; the router gets its own
+    /// process). Empty while observability is off.
+    pub fn take_cluster_trace(&mut self) -> (Vec<DeviceTrace>, Vec<RouterSpan>) {
+        let devices = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| {
+                let events = s.db.take_trace();
+                DeviceTrace {
+                    device: i as u32,
+                    events,
+                    dropped_spans: s.db.platform_mut().trace_dropped(),
+                }
+            })
+            .collect();
+        (devices, std::mem::take(&mut self.router_spans))
+    }
+
+    /// Record one fan-out on the router's virtual timeline: a dispatch
+    /// marker, one wait span per participating shard (that shard's
+    /// device time), and a merge marker after the slowest wait. No-op
+    /// while router tracing is off; never touches any reported time.
+    fn record_router_fanout(&mut self, waits: &[(usize, SimNs)]) {
+        if !self.trace_router || waits.is_empty() {
+            return;
+        }
+        let shards = waits.len() as u32;
+        let start = self.router_clock;
+        self.router_spans.push(RouterSpan {
+            kind: RouterSpanKind::FanOut { shards },
+            start,
+            dur: ROUTER_DISPATCH_NS,
+        });
+        let wait_start = start + ROUTER_DISPATCH_NS;
+        let mut max_wait: SimNs = 0;
+        for &(shard, ns) in waits {
+            self.router_spans.push(RouterSpan {
+                kind: RouterSpanKind::ShardWait { shard: shard as u32 },
+                start: wait_start,
+                dur: ns,
+            });
+            max_wait = max_wait.max(ns);
+        }
+        self.router_spans.push(RouterSpan {
+            kind: RouterSpanKind::Merge { shards },
+            start: wait_start + max_wait,
+            dur: ROUTER_DISPATCH_NS,
+        });
+        self.router_clock = wait_start + max_wait + ROUTER_DISPATCH_NS;
     }
 
     /// Create `name` on every shard (a table spans the namespace).
@@ -816,6 +1075,7 @@ impl NkvCluster {
         match res {
             Ok((record, sim_ns)) => {
                 self.shards[shard].fsm.on_success();
+                self.record_router_fanout(&[(shard, sim_ns)]);
                 Ok(ClusterGet { record, missing_shards: Vec::new(), sim_ns })
             }
             Err(ShardCallError::Logic(e)) => Err(e),
@@ -873,6 +1133,7 @@ impl NkvCluster {
         let router = self.cfg.router;
         let mut merged: Option<(u64, bool)> = None;
         let mut missing = Vec::new();
+        let mut waits: Vec<(usize, SimNs)> = Vec::new();
         let mut sim_ns: SimNs = 0;
         for shard in 0..self.shards.len() {
             if !self.shards[shard].fsm.state.serving() {
@@ -895,6 +1156,7 @@ impl NkvCluster {
             match res {
                 Ok(((value, any), ns)) => {
                     self.shards[shard].fsm.on_success();
+                    waits.push((shard, ns));
                     sim_ns = sim_ns.max(ns);
                     merged = Some(match merged {
                         None => (value, any),
@@ -912,6 +1174,7 @@ impl NkvCluster {
             }
         }
         let (value, any) = merged.unwrap_or((0, false));
+        self.record_router_fanout(&waits);
         Ok(ClusterAggregate { value, any, missing_shards: missing, sim_ns })
     }
 
@@ -995,6 +1258,9 @@ impl NkvCluster {
             span = span.max(shard_span);
             shard_spans.push(shard_span);
         }
+        let waits: Vec<(usize, SimNs)> =
+            shard_spans.iter().enumerate().map(|(i, &ns)| (i, ns)).collect();
+        self.record_router_fanout(&waits);
         Ok(ClusterRunReport { logical_ops, completions, span_ns: span, latency, shard_spans })
     }
 
@@ -1012,6 +1278,7 @@ impl NkvCluster {
         let mut records = Vec::new();
         let mut count = 0;
         let mut missing = Vec::new();
+        let mut waits: Vec<(usize, SimNs)> = Vec::new();
         let mut sim_ns: SimNs = 0;
         for shard in self.participants(range) {
             if !self.shards[shard].fsm.state.serving() {
@@ -1036,6 +1303,7 @@ impl NkvCluster {
                     self.shards[shard].fsm.on_success();
                     records.extend_from_slice(&shard_records);
                     count += shard_count;
+                    waits.push((shard, ns));
                     sim_ns = sim_ns.max(ns);
                 }
                 Err(ShardCallError::Logic(e)) => return Err(e),
@@ -1048,6 +1316,7 @@ impl NkvCluster {
                 }
             }
         }
+        self.record_router_fanout(&waits);
         Ok(ClusterScan { records, count, missing_shards: missing, sim_ns })
     }
 

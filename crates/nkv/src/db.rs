@@ -258,6 +258,7 @@ impl NkvDb {
             metrics: self.metrics.clone().unwrap_or_default(),
             health: self.health_report(),
             cache: self.platform.cache_stats(),
+            dropped_spans: self.platform.trace_dropped(),
         }
     }
 
@@ -1212,6 +1213,35 @@ typedef struct {
         assert!(text.contains("GET"), "{text}");
         assert!(text.contains("SCAN"), "{text}");
         assert!(text.contains("health:"), "{text}");
+    }
+
+    /// Satellite regression: a trace ring that overflows must count the
+    /// evicted spans (surfaced as `DeviceStats::dropped_spans`), never
+    /// panic, and never lose the counter across `take_trace` drains.
+    #[test]
+    fn trace_ring_overflow_is_counted_not_panicked() {
+        let mut db = paper_db(1, PeVariant::Generated);
+        db.enable_observability(4); // tiny rings: every op overflows
+        let cfg = PubGraphConfig { papers: 2000, refs: 2000, seed: 6 };
+        db.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        let rules = [FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 2010 }];
+        db.scan("papers", &rules, ExecMode::Hardware).unwrap();
+        let stats = db.device_stats();
+        assert!(stats.dropped_spans > 0, "tiny ring must report drops");
+        let text = format!("{stats}");
+        assert!(text.contains("trace: dropped_spans="), "{text}");
+        // Draining the rings must not reset the cumulative counter.
+        let _ = db.take_trace();
+        assert!(db.device_stats().dropped_spans >= stats.dropped_spans);
+        // A roomy ring on the same workload reports zero and stays
+        // silent in the rendering.
+        let mut roomy = paper_db(1, PeVariant::Generated);
+        roomy.enable_observability(1 << 20);
+        roomy.bulk_load("papers", PaperGen::new(cfg).map(|p| encode(&p))).unwrap();
+        roomy.scan("papers", &rules, ExecMode::Hardware).unwrap();
+        let clean = roomy.device_stats();
+        assert_eq!(clean.dropped_spans, 0);
+        assert!(!format!("{clean}").contains("dropped_spans"));
     }
 
     #[test]

@@ -72,7 +72,8 @@ pub mod util;
 
 pub use cluster::{
     ClusterAggregate, ClusterConfig, ClusterGet, ClusterHealthReport, ClusterRunReport,
-    ClusterScan, HealthFsmConfig, NkvCluster, ReadPolicy, ShardHealth, ShardState, ShardStrategy,
+    ClusterScan, ClusterStats, HealthFsmConfig, NkvCluster, ReadPolicy, ShardHealth, ShardState,
+    ShardStatsRow, ShardStrategy,
 };
 pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
 pub use engine::ParallelScanStats;

@@ -258,6 +258,17 @@ impl Breakdown {
     pub fn total(&self) -> SimNs {
         self.flash_ns + self.dram_ns + self.pe_ns + self.cfg_ns + self.nvme_ns
     }
+
+    /// Fold `other`'s component times into `self` (cross-shard
+    /// aggregation). Component-wise addition, so merging per-shard
+    /// breakdowns conserves the fleet's total busy time exactly.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.flash_ns += other.flash_ns;
+        self.dram_ns += other.dram_ns;
+        self.pe_ns += other.pe_ns;
+        self.cfg_ns += other.cfg_ns;
+        self.nvme_ns += other.nvme_ns;
+    }
 }
 
 /// Metrics of one operation class.
@@ -310,6 +321,29 @@ impl MetricsRegistry {
     pub fn total_ops(&self) -> u64 {
         self.per_op.iter().map(|m| m.ops).sum()
     }
+
+    /// Fold `other` into `self`, op class by op class: histograms merge
+    /// bucket-exactly ([`LatencyHistogram::merge`]), counters and
+    /// breakdowns add. This is the cross-shard fold — merging N shard
+    /// registries equals recording every shard's samples into one.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (a, b) in self.per_op.iter_mut().zip(other.per_op.iter()) {
+            a.ops += b.ops;
+            a.bytes += b.bytes;
+            a.hist.merge(&b.hist);
+            a.breakdown.merge(&b.breakdown);
+        }
+    }
+
+    /// Busy time summed over every op class's breakdown — the per-shard
+    /// number the cluster's skew metric compares.
+    pub fn total_breakdown(&self) -> Breakdown {
+        let mut total = Breakdown::default();
+        for m in &self.per_op {
+            total.merge(&m.breakdown);
+        }
+        total
+    }
 }
 
 /// Device-wide observability snapshot: per-op metrics plus health.
@@ -322,6 +356,12 @@ pub struct DeviceStats {
     /// DRAM block-cache counters (`None` while the cache is disabled,
     /// keeping the rendering byte-identical to the pre-cache device).
     pub cache: Option<cosmos_sim::CacheStats>,
+    /// Trace spans silently evicted by ring overflow since the last
+    /// drain. Nonzero means the flame graph (and the breakdown columns
+    /// attributed from drained spans) undercounts — grow the ring
+    /// capacity. Rendered only when nonzero so healthy output is
+    /// byte-identical to the pre-counter device.
+    pub dropped_spans: u64,
 }
 
 /// Render a nanosecond duration with a readable unit. Stable across
@@ -397,6 +437,9 @@ impl fmt::Display for DeviceStats {
                 c.evictions,
                 c.invalidations,
             )?;
+        }
+        if self.dropped_spans > 0 {
+            writeln!(f, "  trace: dropped_spans={} (ring overflowed)", self.dropped_spans)?;
         }
         write!(f, "{}", self.health)
     }
@@ -662,6 +705,57 @@ mod tests {
             ),
             "{on}"
         );
+    }
+
+    #[test]
+    fn registry_merge_equals_recording_into_one() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let mut all = MetricsRegistry::new();
+        for (into_a, kind, ns, bytes) in [
+            (true, OpKind::Get, 1_000u64, 80u64),
+            (true, OpKind::Scan, 5_000_000, 4096),
+            (false, OpKind::Get, 2_000, 80),
+            (false, OpKind::Put, 300, 128),
+        ] {
+            if into_a { &mut a } else { &mut b }.record(kind, ns, bytes);
+            all.record(kind, ns, bytes);
+        }
+        let span = TraceEvent { kind: TraceKind::NvmeTransfer { bytes: 80 }, start: 0, dur: 67 };
+        a.attribute(OpKind::Get, std::slice::from_ref(&span));
+        b.attribute(OpKind::Get, std::slice::from_ref(&span));
+        all.attribute(OpKind::Get, &[span, span]);
+        a.merge(&b);
+        assert_eq!(a, all, "cross-shard fold == recording everything into one registry");
+        assert_eq!(a.total_ops(), 4);
+    }
+
+    #[test]
+    fn total_breakdown_sums_every_op_class() {
+        let mut r = MetricsRegistry::new();
+        r.attribute(
+            OpKind::Get,
+            &[TraceEvent { kind: TraceKind::FlashRead { channel: 0, lun: 0 }, start: 0, dur: 10 }],
+        );
+        r.attribute(
+            OpKind::Scan,
+            &[TraceEvent { kind: TraceKind::PeJob { pe: 0, cycles: 4 }, start: 0, dur: 40 }],
+        );
+        let total = r.total_breakdown();
+        assert_eq!(total.flash_ns, 10);
+        assert_eq!(total.pe_ns, 40);
+        assert_eq!(total.total(), 50);
+    }
+
+    #[test]
+    fn dropped_spans_line_renders_only_when_nonzero() {
+        let mut s = DeviceStats::default();
+        s.metrics.record(OpKind::Get, 1_000, 80);
+        let clean = format!("{s}");
+        assert!(!clean.contains("dropped_spans"), "zero drops must not render: {clean}");
+        s.dropped_spans = 7;
+        let overflowed = format!("{s}");
+        assert!(overflowed.contains("trace: dropped_spans=7 (ring overflowed)"), "{overflowed}");
     }
 
     #[test]

@@ -6,9 +6,11 @@
 # diffed against the committed reference output, a fixed-seed loadgen
 # smoke run (latency tail + parallel-PE sweep) diffed the same way, the
 # DRAM block-cache sweep gate, the cluster clients x devices scaling
-# matrix (which also emits BENCH_loadgen.json, the machine-readable
-# results file), the explain subcommand, and the repro CLI's error
-# paths.
+# matrix (which also emits the machine-readable BENCH_loadgen.json and
+# the merged multi-device Chrome trace), the fleet profile
+# (BENCH_profile.json), the perf-regression gate against the committed
+# reference artifacts, the explain subcommand, and the repro CLI's
+# error paths.
 # Run from anywhere; operates on the repo this script lives in.
 # CHECK_SLOW=1 additionally runs the #[ignore]d long campaigns
 # (queue-engine determinism sweep) via --include-ignored.
@@ -97,14 +99,19 @@ awk -v off="$off_p50" -v warm="$full_p50" 'BEGIN {
     }
 }'
 
-echo "==> cluster scaling matrix + machine-readable bench results"
+echo "==> cluster scaling matrix + machine-readable bench results + merged trace"
 # Fixed-seed clients x devices matrix through the sharded cluster; the
-# same run emits BENCH_loadgen.json, the machine-readable counterpart
-# of the text figures (hand-rolled JSON; the workspace carries no
-# serde).
+# same run emits target/BENCH_loadgen.json (the machine-readable
+# counterpart of the text figures; hand-rolled JSON, the workspace
+# carries no serde) and the merged multi-device Chrome trace of the
+# last (4-device) cell. Artifacts are emitted to target/ and
+# regression-compared against the committed references below — the
+# committed files are never written by this script.
+rm -f target/BENCH_loadgen.json target/BENCH_profile.json target/cluster_trace.json
 ./target/release/repro loadgen --clients 2 --depth 4 --ops 32 --seed 42 \
     --scale 0.00048828125 --devices 1,2,4 \
-    --json BENCH_loadgen.json > target/loadgen_cluster.txt
+    --json target/BENCH_loadgen.json \
+    --trace target/cluster_trace.json > target/loadgen_cluster.txt
 grep -q 'cluster matrix' target/loadgen_cluster.txt
 # Device-parallel fan-out must pay off: 4 shards >= 2.5x one device at
 # the fixed smoke seed ($2 is the devices column, $5 is ops/s).
@@ -121,18 +128,103 @@ sed -n '/cluster matrix/,$p' target/loadgen_cluster.txt | awk '
 if command -v python3 > /dev/null; then
     python3 - << 'EOF'
 import json
-with open("BENCH_loadgen.json") as f:
+with open("target/BENCH_loadgen.json") as f:
     doc = json.load(f)
-keys = ("schema", "config", "points", "parallel_sweep", "cache_sweep", "cluster_matrix")
+keys = ("schema", "seed", "config", "points", "parallel_sweep", "cache_sweep", "cluster_matrix")
 missing = [k for k in keys if k not in doc]
 assert not missing, f"BENCH_loadgen.json missing keys: {missing}"
-assert doc["schema"] == "nkv-bench-loadgen/1", doc["schema"]
+assert doc["schema"] == "nkv-bench-loadgen/2", doc["schema"]
+assert doc["seed"] == 42, doc["seed"]
 assert doc["cluster_matrix"], "cluster_matrix must not be empty with --devices"
 EOF
 else
-    for key in schema config points parallel_sweep cache_sweep cluster_matrix; do
-        grep -q "\"$key\"" BENCH_loadgen.json
+    for key in schema seed config points parallel_sweep cache_sweep cluster_matrix; do
+        grep -q "\"$key\"" target/BENCH_loadgen.json
     done
+fi
+
+echo "==> merged multi-device trace is a valid Chrome export with router spans"
+if command -v python3 > /dev/null; then
+    python3 -m json.tool target/cluster_trace.json > /dev/null
+fi
+# Device pid namespaces: device 1 offsets its pids by 1000, device 2 by
+# 2000 (flash channel 0 sits at +100), and the router narrates the
+# fan-out on its own pid 900.
+grep -q '"pid":1100' target/cluster_trace.json
+grep -q '"pid":2100' target/cluster_trace.json
+grep -q '"pid":900' target/cluster_trace.json
+grep -q 'router_fanout' target/cluster_trace.json
+grep -q 'router_merge' target/cluster_trace.json
+grep -q '"dropped_spans"' target/cluster_trace.json
+
+echo "==> fleet profile emits BENCH_profile.json (perf-journal snapshot)"
+./target/release/repro profile --scale 0.00048828125 --devices 4 \
+    --json target/BENCH_profile.json > target/profile_fleet.txt
+grep -q 'fleet profile (4 hash-sharded devices)' target/profile_fleet.txt
+grep -q 'cluster stats: 4 shards' target/profile_fleet.txt
+if command -v python3 > /dev/null; then
+    python3 - << 'EOF'
+import json
+with open("target/BENCH_profile.json") as f:
+    doc = json.load(f)
+keys = ("schema", "seed", "config", "config_tax_ratio", "flash_occupancy",
+        "cache_hit_rate", "cluster_scaling", "cluster")
+missing = [k for k in keys if k not in doc]
+assert not missing, f"BENCH_profile.json missing keys: {missing}"
+assert doc["schema"] == "nkv-bench-profile/1", doc["schema"]
+assert len(doc["cluster"]["shards"]) == 4, "fleet snapshot must carry 4 shard rows"
+EOF
+else
+    for key in schema seed config_tax_ratio flash_occupancy cache_hit_rate \
+        cluster_scaling cluster; do
+        grep -q "\"$key\"" target/BENCH_profile.json
+    done
+fi
+
+echo "==> perf-regression gate: fresh artifacts vs committed references (PERF.md)"
+# The fixed-seed DES is deterministic, so the fresh artifacts normally
+# match the committed ones exactly; the 15% tolerance exists so the
+# gate measures performance, not bytes. Fails on a >15% throughput
+# regression in any matrix cell or a cluster-scaling/occupancy drop.
+# An intentional perf change regenerates the committed files (see
+# PERF.md for the journal discipline).
+if command -v python3 > /dev/null; then
+    python3 - << 'EOF'
+import json
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+TOL = 0.15
+ref, new = load("BENCH_loadgen.json"), load("target/BENCH_loadgen.json")
+assert new["schema"] == ref["schema"], (new["schema"], ref["schema"])
+ref_cells = {(r["clients"], r["devices"]): r for r in ref["cluster_matrix"]}
+for row in new["cluster_matrix"]:
+    base = ref_cells.get((row["clients"], row["devices"]))
+    assert base, f"cell {row['clients']}x{row['devices']} missing from committed reference"
+    floor = (1 - TOL) * base["ops_per_sec"]
+    assert row["ops_per_sec"] >= floor, (
+        f"throughput regression at {row['clients']} clients x {row['devices']} devices: "
+        f"{row['ops_per_sec']:.0f} ops/s < {floor:.0f} (committed {base['ops_per_sec']:.0f})")
+for row, base in zip(new["points"], ref["points"]):
+    floor = (1 - TOL) * base["ops_per_sec"]
+    assert row["ops_per_sec"] >= floor, (
+        f"single-device throughput regression at {row['clients']} clients: "
+        f"{row['ops_per_sec']:.0f} ops/s < {floor:.0f}")
+
+refp, newp = load("BENCH_profile.json"), load("target/BENCH_profile.json")
+for key in ("cluster_scaling", "flash_occupancy", "cache_hit_rate"):
+    floor = (1 - TOL) * refp[key]
+    assert newp[key] >= floor, (
+        f"{key} dropped: {newp[key]:.4f} < {floor:.4f} (committed {refp[key]:.4f})")
+print("perf gate: all metrics within 15% of the committed baselines")
+EOF
+else
+    # Without python3 the gate degrades to byte-identity, which the
+    # deterministic DES satisfies whenever perf is unchanged.
+    diff -u BENCH_loadgen.json target/BENCH_loadgen.json
+    diff -u BENCH_profile.json target/BENCH_profile.json
 fi
 
 echo "==> repro CLI rejects bad --devices values"
@@ -144,6 +236,33 @@ if ./target/release/repro loadgen --devices 0 > /dev/null 2>&1; then
     echo "error: --devices 0 must exit nonzero" >&2
     exit 1
 fi
+
+echo "==> repro CLI trace/json guard rails"
+# --trace to an unwritable path fails up front (before simulation time).
+if ./target/release/repro loadgen --devices 1,2 \
+    --trace /nonexistent-dir/trace.json > /dev/null 2>&1; then
+    echo "error: --trace to an unwritable path must exit nonzero" >&2
+    exit 1
+fi
+# loadgen --trace without --devices has no cluster to trace.
+if ./target/release/repro loadgen --trace target/never.json > /dev/null 2>&1; then
+    echo "error: loadgen --trace without --devices must exit nonzero" >&2
+    exit 1
+fi
+# A non-default configuration must refuse to clobber an existing --json
+# artifact (this protects the committed references); --json-force is
+# the explicit override, exercised by the emission runs above via
+# fresh target/ paths and here against a scratch file.
+echo '{"scratch": true}' > target/guard_scratch.json
+if ./target/release/repro loadgen --clients 1 --depth 1 --ops 2 --seed 9 \
+    --scale 0.00048828125 --json target/guard_scratch.json > /dev/null 2>&1; then
+    echo "error: --json onto an existing file with non-default flags must exit nonzero" >&2
+    exit 1
+fi
+grep -q '"scratch"' target/guard_scratch.json  # refused => untouched
+./target/release/repro loadgen --clients 1 --depth 1 --ops 2 --seed 9 \
+    --scale 0.00048828125 --json target/guard_scratch.json --json-force > /dev/null 2>&1
+grep -q '"schema"' target/guard_scratch.json   # forced => replaced
 
 echo "==> repro explain renders the lowered plan"
 ./target/release/repro explain refs 'year>=2010' --backend hybrid > target/explain.txt
