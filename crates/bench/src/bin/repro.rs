@@ -89,6 +89,15 @@ fn main() {
                     })
                     .collect();
             }
+            "--batch" => {
+                lg.batch = match value("--batch").parse::<u32>() {
+                    Ok(n) if n >= 1 && n as usize <= cosmos_sim::KeyListDescriptor::MAX_KEYS => n,
+                    _ => die(&format!(
+                        "--batch needs an integer in 1..={} (one key-list DMA page)",
+                        cosmos_sim::KeyListDescriptor::MAX_KEYS
+                    )),
+                };
+            }
             "--json" => {
                 json_path = Some(value("--json").to_string());
             }
@@ -201,7 +210,7 @@ fn die(msg: &str) -> ! {
         "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
          \x20            [--scale F | --full]\n\
          \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]\n\
-         \x20            [--cache-mb M] [--devices n[,n...]]\n\
+         \x20            [--cache-mb M] [--devices n[,n...]] [--batch B]\n\
          \x20            [--json PATH] [--json-force] [--trace PATH]  (loadgen, profile)\n\
          \x20            loadgen --devices ... --trace t.json writes the merged cluster\n\
          \x20            trace; profile --devices N adds the fleet ClusterStats fold\n\
@@ -350,10 +359,41 @@ fn profile(
         per_get(get.breakdown.cfg_ns),
         per_get(get.breakdown.nvme_ns),
     );
+    let tax_before = get.breakdown.cfg_ns as f64 / get.breakdown.nvme_ns.max(1) as f64;
     println!(
-        "    => config-register traffic costs {:.0}x the result transfer \
-         (Fig. 7a: why GET gains nothing from HW)",
-        get.breakdown.cfg_ns as f64 / get.breakdown.nvme_ns.max(1) as f64
+        "    => config-register traffic costs {tax_before:.0}x the result transfer \
+         (Fig. 7a: why GET gains nothing from HW)"
+    );
+    // Before/after config tax: the same GET schedule re-issued through
+    // batched key lists (one PE configuration + per-key START strobes).
+    let batch = if lg.batch > 1 { lg.batch } else { 16 };
+    let bt = figures::profile_batched_tax(scale, p.n_gets, batch);
+    println!("  batched GET (key-list descriptors, {} keys/batch) — config tax:", bt.batch);
+    println!("               cfg(us/get)  result(us/get)  cfg/result");
+    println!(
+        "    per-key   {:10.2} {:14.2} {:10.0}x",
+        per_get(get.breakdown.cfg_ns),
+        per_get(get.breakdown.nvme_ns),
+        tax_before
+    );
+    println!(
+        "    batched   {:10.2} {:14.2} {:10.1}x",
+        bt.cfg_us_per_get, bt.nvme_us_per_get, bt.config_tax_ratio
+    );
+    let unbatched = figures::profile_batched_tax(scale, p.n_gets, 1);
+    println!(
+        "    => key lists cut the config tax {:.0}x (flash {:.2} -> {:.2} us/get \
+         from shared index pages)",
+        tax_before / bt.config_tax_ratio.max(f64::MIN_POSITIVE),
+        per_get(get.breakdown.flash_ns),
+        bt.flash_us_per_get
+    );
+    println!(
+        "    => per-key device time {:.1} -> {:.1} us: {:.1}x GET throughput at batch {}",
+        unbatched.us_per_get,
+        bt.us_per_get,
+        unbatched.us_per_get / bt.us_per_get.max(f64::MIN_POSITIVE),
+        bt.batch
     );
     println!(
         "  SCAN (HW): flash-controller occupancy {:.1}% of wall time \

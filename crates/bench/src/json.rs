@@ -80,22 +80,28 @@ pub fn cluster_stats_json(stats: &nkv::ClusterStats) -> String {
 }
 
 /// Render `BENCH_profile.json`, the perf journal's machine-readable
-/// snapshot (schema `nkv-bench-profile/1`). Fixed-seed inputs make the
-/// document byte-stable, so `scripts/check.sh` can regression-compare
-/// it against the committed reference with tolerance thresholds.
+/// snapshot (schema `nkv-bench-profile/2`; v2 added the batched-GET
+/// config-tax measurement). Fixed-seed inputs make the document
+/// byte-stable, so `scripts/check.sh` can regression-compare it
+/// against the committed reference with tolerance thresholds.
 pub fn profile_bench_json(p: &crate::figures::ProfileBench) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"nkv-bench-profile/1\",");
+    let _ = writeln!(out, "  \"schema\": \"nkv-bench-profile/2\",");
     let _ = writeln!(out, "  \"seed\": {},", p.seed);
     let _ = writeln!(
         out,
-        "  \"config\": {{\"scale\": {}, \"devices\": {}, \"n_gets\": {}}},",
+        "  \"config\": {{\"scale\": {}, \"devices\": {}, \"n_gets\": {}, \"batch\": {}}},",
         json_num(p.scale),
         p.devices,
-        p.n_gets
+        p.n_gets,
+        p.batch
     );
     let _ = writeln!(out, "  \"config_tax_ratio\": {},", json_num(p.config_tax_ratio));
+    let _ = writeln!(out, "  \"config_tax_batched\": {},", json_num(p.config_tax_batched));
+    let _ = writeln!(out, "  \"get_us_unbatched\": {},", json_num(p.get_us_unbatched));
+    let _ = writeln!(out, "  \"get_us_batched\": {},", json_num(p.get_us_batched));
+    let _ = writeln!(out, "  \"batched_get_speedup\": {},", json_num(p.batched_get_speedup));
     let _ = writeln!(out, "  \"flash_occupancy\": {},", json_num(p.flash_occupancy));
     let _ = writeln!(out, "  \"cache_hit_rate\": {},", json_num(p.cache_hit_rate));
     let _ = writeln!(out, "  \"cluster_scaling\": {},", json_num(p.cluster_scaling));
@@ -139,6 +145,11 @@ mod tests {
             devices: 4,
             n_gets: 16,
             config_tax_ratio: 45.0,
+            batch: 16,
+            config_tax_batched: 4.5,
+            get_us_unbatched: 2200.0,
+            get_us_batched: 210.0,
+            batched_get_speedup: 10.5,
             flash_occupancy: 0.97,
             cache_hit_rate: 0.5,
             cluster_scaling: f64::NAN,
@@ -148,10 +159,15 @@ mod tests {
         };
         let json = profile_bench_json(&p);
         for key in [
-            "\"schema\": \"nkv-bench-profile/1\"",
+            "\"schema\": \"nkv-bench-profile/2\"",
             "\"seed\": 7",
             "\"config\"",
+            "\"batch\": 16",
             "\"config_tax_ratio\": 45",
+            "\"config_tax_batched\": 4.5",
+            "\"get_us_unbatched\": 2200",
+            "\"get_us_batched\": 210",
+            "\"batched_get_speedup\": 10.5",
             "\"flash_occupancy\": 0.97",
             "\"cache_hit_rate\": 0.5",
             "\"cluster_scaling\": null",

@@ -47,6 +47,11 @@ pub struct LoadgenConfig {
     /// (the default) skips the matrix entirely, so the smoke table
     /// stays byte-identical to the pre-cluster output.
     pub devices: Vec<usize>,
+    /// Max keys per batched-GET key list for the batched-GET sweep.
+    /// `1` (the default) skips the sweep entirely and keeps every
+    /// queued run on the legacy per-key path, so the smoke table stays
+    /// byte-identical to the pre-batching output.
+    pub batch: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +64,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             cache_mb: 0,
             devices: Vec::new(),
+            batch: 1,
         }
     }
 }
@@ -110,6 +116,26 @@ pub struct CacheSweepPoint {
     pub p99_ms: f64,
 }
 
+/// One row of the batched-GET sweep (`batch == 1` is the legacy
+/// per-key queue path every other row must match record-for-record).
+#[derive(Debug, Clone)]
+pub struct BatchedSweepPoint {
+    /// Max keys folded into one key-list descriptor.
+    pub batch: u32,
+    /// Commands completed (identical across rows — asserted).
+    pub ops: u64,
+    /// Simulated wall time of the run, seconds.
+    pub span_s: f64,
+    /// Sustained GET throughput over the run.
+    pub ops_per_sec: f64,
+    /// Doorbell MMIOs the coalescer saved across the run.
+    pub coalesced_doorbells: u64,
+    /// `LatencyHistogram::tail_summary` of submit→complete times.
+    pub latency: String,
+    /// Throughput relative to the batch-1 row (`self / t_1`).
+    pub speedup: f64,
+}
+
 /// One cell of the clients x devices cluster matrix: the same seeded
 /// client scripts pushed through an [`NkvCluster`] of `devices`
 /// hash-sharded Cosmos+ instances.
@@ -141,6 +167,8 @@ pub struct LoadgenFigure {
     /// Clients x devices cluster matrix; empty unless `cfg.devices` is
     /// non-empty.
     pub cluster: Vec<ClusterMatrixPoint>,
+    /// Batched-GET sweep; empty unless `cfg.batch > 1`.
+    pub batched: Vec<BatchedSweepPoint>,
 }
 
 /// Build the seeded script for one client: ~90 % GET, ~8 % PUT
@@ -199,7 +227,8 @@ pub fn loadgen_traced(cfg: &LoadgenConfig, trace: bool) -> (LoadgenFigure, Optio
     let sweep = parallel_sweep(cfg.scale, &[0, 1, 2, 4]);
     let cache = if cfg.cache_mb > 0 { cache_sweep(cfg.scale, cfg.cache_mb) } else { Vec::new() };
     let (cluster, trace_json) = cluster_matrix_traced(cfg, trace);
-    (LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster }, trace_json)
+    let batched = if cfg.batch > 1 { batched_get_sweep(cfg) } else { Vec::new() };
+    (LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster, batched }, trace_json)
 }
 
 /// Run the clients x devices cluster matrix: for every `(clients,
@@ -266,6 +295,71 @@ pub fn cluster_matrix_traced(
         }
     }
     (rows, trace_json)
+}
+
+/// Per-client queue depth of the batched-GET sweep: fixed across rows
+/// (the fold needs `depth >= batch` same-time commands in flight, and
+/// varying depth with batch would conflate queueing with batching).
+const BATCHED_SWEEP_DEPTH: u32 = 16;
+/// Clients in the batched-GET sweep.
+const BATCHED_SWEEP_CLIENTS: u32 = 2;
+
+/// Build the seeded GET-only script for one batched-sweep client.
+pub fn get_script(cfg: &PubGraphConfig, seed: u64, client: u32, ops: u32) -> ClientScript {
+    let mut rng = SplitMix64::for_record(seed, 0xba7c4 + u64::from(client), 0);
+    let mut script = ClientScript::default();
+    for _ in 0..ops {
+        let idx = rng.gen_u64(cfg.papers);
+        script.ops.push(QueuedOp::Get { key: PaperGen::paper_at(cfg, idx).id });
+    }
+    script
+}
+
+/// Sweep the batched-GET key-list size over the same seeded GET-only
+/// workload on a freshly built, churned device per row (churn gives the
+/// LSM overlapping C1 SSTs, the shape whose index-page walks batching
+/// amortizes). Batching must never change *what* a GET returns — every
+/// row's completions are asserted record-identical to the batch-1
+/// baseline — only how many PE configurations and doorbells it costs.
+pub fn batched_get_sweep(cfg: &LoadgenConfig) -> Vec<BatchedSweepPoint> {
+    let batches: Vec<u32> =
+        [1, 2, 4, 8, 16].iter().copied().filter(|&b| b == 1 || b <= cfg.batch).collect();
+    let mut rows = Vec::with_capacity(batches.len());
+    let mut baseline: Option<Vec<(u32, u32, Vec<u8>)>> = None;
+    for &b in &batches {
+        let mut ds = build_db(cfg.scale, DbKind::Ours);
+        crate::figures::churn_c1(&mut ds, 7);
+        let scripts: Vec<ClientScript> = (0..BATCHED_SWEEP_CLIENTS)
+            .map(|c| get_script(&ds.cfg, cfg.seed, c, cfg.ops_per_client))
+            .collect();
+        let run_cfg =
+            QueueRunConfig { depth: BATCHED_SWEEP_DEPTH, batch: b, ..QueueRunConfig::default() };
+        let report = ds.db.run_queued("papers", &scripts, &run_cfg).expect("queued run succeeds");
+        let mut records: Vec<(u32, u32, Vec<u8>)> =
+            report.completions.iter().map(|c| (c.client, c.seq, c.payload.clone())).collect();
+        records.sort_unstable();
+        match &baseline {
+            None => baseline = Some(records),
+            Some(base) => assert_eq!(
+                *base, records,
+                "batch {b} must return the batch-1 records byte-for-byte"
+            ),
+        }
+        rows.push(BatchedSweepPoint {
+            batch: b,
+            ops: report.ops(),
+            span_s: ns_to_secs(report.finished_ns - report.started_ns),
+            ops_per_sec: report.throughput_ops_per_sec(),
+            coalesced_doorbells: report.queue.coalesced_doorbells,
+            latency: report.latency.tail_summary(),
+            speedup: 0.0,
+        });
+    }
+    let t1 = rows.first().map(|r| r.ops_per_sec);
+    for r in &mut rows {
+        r.speedup = t1.map_or(0.0, |t| r.ops_per_sec / t);
+    }
+    rows
 }
 
 /// Sweep the refs-table SCAN over parallel PE job-stream counts on one
@@ -399,6 +493,28 @@ pub fn render(fig: &LoadgenFigure) -> String {
             );
         }
     }
+    if !fig.batched.is_empty() {
+        let _ = writeln!(
+            out,
+            "  batched-GET sweep (GET-only, {BATCHED_SWEEP_CLIENTS} clients, \
+             depth {BATCHED_SWEEP_DEPTH}):"
+        );
+        let _ =
+            writeln!(out, "    batch      ops   span(ms)      ops/s  coalesced  speedup  latency");
+        for r in &fig.batched {
+            let _ = writeln!(
+                out,
+                "  {:7} {:8} {:10.3} {:10.1} {:10} {:7.2}x  {}",
+                r.batch,
+                r.ops,
+                r.span_s * 1e3,
+                r.ops_per_sec,
+                r.coalesced_doorbells,
+                r.speedup,
+                r.latency
+            );
+        }
+    }
     if !fig.cluster.is_empty() {
         let _ = writeln!(out, "  cluster matrix (clients x devices, hash-sharded):");
         let _ = writeln!(out, "  clients  devices      ops   span(ms)      ops/s  latency");
@@ -423,14 +539,15 @@ pub fn render(fig: &LoadgenFigure) -> String {
 /// workspace carries no serde — and stable: same seed, same bytes, keys
 /// always present (empty sweeps are empty arrays, not missing keys).
 /// Schema v2 added the top-level `seed` stamp every `BENCH_*.json`
-/// carries.
+/// carries; v3 added the `batch` config knob and the always-present
+/// `batched_sweep` section.
 pub fn bench_json(fig: &LoadgenFigure) -> String {
     use std::fmt::Write as _;
     let join = |items: Vec<String>| items.join(", ");
     let c = &fig.cfg;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/2\",");
+    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/3\",");
     let _ = writeln!(out, "  \"seed\": {},", c.seed);
     let _ = writeln!(out, "  \"config\": {{");
     let _ = writeln!(out, "    \"scale\": {},", json_num(c.scale));
@@ -445,9 +562,10 @@ pub fn bench_json(fig: &LoadgenFigure) -> String {
     let _ = writeln!(out, "    \"cache_mb\": {},", c.cache_mb);
     let _ = writeln!(
         out,
-        "    \"devices\": [{}]",
+        "    \"devices\": [{}],",
         join(c.devices.iter().map(usize::to_string).collect())
     );
+    let _ = writeln!(out, "    \"batch\": {}", c.batch);
     let _ = writeln!(out, "  }},");
     let points = fig
         .points
@@ -520,9 +638,31 @@ pub fn bench_json(fig: &LoadgenFigure) -> String {
         })
         .collect::<Vec<_>>();
     if cluster.is_empty() {
-        let _ = writeln!(out, "  \"cluster_matrix\": []");
+        let _ = writeln!(out, "  \"cluster_matrix\": [],");
     } else {
-        let _ = writeln!(out, "  \"cluster_matrix\": [\n{}\n  ]", cluster.join(",\n"));
+        let _ = writeln!(out, "  \"cluster_matrix\": [\n{}\n  ],", cluster.join(",\n"));
+    }
+    let batched = fig
+        .batched
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"batch\": {}, \"ops\": {}, \"span_ms\": {}, \"ops_per_sec\": {}, \
+                 \"coalesced_doorbells\": {}, \"speedup\": {}, \"latency\": {}}}",
+                r.batch,
+                r.ops,
+                json_num(r.span_s * 1e3),
+                json_num(r.ops_per_sec),
+                r.coalesced_doorbells,
+                json_num(r.speedup),
+                json_str(&r.latency)
+            )
+        })
+        .collect::<Vec<_>>();
+    if batched.is_empty() {
+        let _ = writeln!(out, "  \"batched_sweep\": []");
+    } else {
+        let _ = writeln!(out, "  \"batched_sweep\": [\n{}\n  ]", batched.join(",\n"));
     }
     let _ = writeln!(out, "}}");
     out
@@ -569,6 +709,7 @@ mod tests {
             seed: 42,
             cache_mb: 0,
             devices: Vec::new(),
+            batch: 1,
         });
         let t: Vec<f64> = fig.points.iter().map(|p| p.ops_per_sec).collect();
         assert!(t[1] > 1.5 * t[0], "8 clients should clearly out-run 1 client: {t:?}");
@@ -586,6 +727,7 @@ mod tests {
             seed: 7,
             cache_mb: 0,
             devices: Vec::new(),
+            batch: 1,
         };
         let a = render(&loadgen(&cfg));
         let b = render(&loadgen(&cfg));
@@ -602,6 +744,10 @@ mod tests {
             "an empty devices list must leave the table byte-identical to the \
              pre-cluster output: {a}"
         );
+        assert!(
+            !a.contains("batched-GET sweep"),
+            "batch=1 must leave the table byte-identical to the pre-batching output: {a}"
+        );
     }
 
     #[test]
@@ -614,6 +760,7 @@ mod tests {
             seed: 42,
             cache_mb: 0,
             devices: vec![1, 4],
+            batch: 1,
         };
         let rows = cluster_matrix(&cfg);
         assert_eq!(rows.len(), 2);
@@ -639,6 +786,7 @@ mod tests {
             seed: 42,
             cache_mb: 0,
             devices: vec![1, 2],
+            batch: 1,
         };
         let (rows, trace) = cluster_matrix_traced(&cfg, true);
         // Observability is timing-invisible: the traced rows are the
@@ -664,6 +812,7 @@ mod tests {
             seed: 7,
             cache_mb: 0,
             devices: vec![1, 2],
+            batch: 1,
         };
         let json = bench_json(&loadgen(&cfg));
         for key in [
@@ -674,10 +823,12 @@ mod tests {
             "\"parallel_sweep\"",
             "\"cache_sweep\"",
             "\"cluster_matrix\"",
+            "\"batched_sweep\"",
         ] {
             assert!(json.contains(key), "missing {key}: {json}");
         }
-        assert!(json.contains("\"nkv-bench-loadgen/2\""), "{json}");
+        assert!(json.contains("\"nkv-bench-loadgen/3\""), "{json}");
+        assert!(json.contains("\"batched_sweep\": []"), "batch off is an empty array: {json}");
         assert!(json.contains("\"seed\": 7,"), "{json}");
         assert!(json.contains("\"devices\": [1, 2]"), "{json}");
         assert!(json.contains("\"cache_sweep\": []"), "cache off is an empty array: {json}");

@@ -75,6 +75,15 @@ fn reference_pe_artifacts_match_goldens() {
 }
 
 #[test]
+fn key_list_descriptor_layout_matches_golden() {
+    // The batched-GET key-list descriptor (DESIGN.md §15) is part of
+    // the same host-visible ABI as the register maps above: firmware
+    // DMAs this page verbatim, so its layout gets the same golden
+    // treatment as the generated headers.
+    check("key_list.h", &cosmos_sim::KeyListDescriptor::layout());
+}
+
+#[test]
 fn generation_is_deterministic() {
     // The snapshot test is only meaningful if generation itself is a
     // pure function of the spec.

@@ -1,0 +1,15 @@
+// Key-list DMA descriptor, little-endian, one 4 KiB page.
+// Walker contract: one PE configuration, n_keys results
+// streamed back in key order.
+#define NKL_MAGIC      0x4E4B4C31u /* "NKL1" */
+#define NKL_MAX_KEYS   510u
+#define NKL_PAGE_BYTES 4096u
+
+struct nkl_key_list {
+    uint32_t magic;    /* NKL_MAGIC                    */
+    uint16_t n_keys;   /* 1 ..= NKL_MAX_KEYS           */
+    uint16_t flags;    /* reserved, must be 0          */
+    uint64_t reserved; /* must be 0                    */
+    uint64_t key[];    /* n_keys packed LE keys,       */
+                       /* strictly no duplicates       */
+};

@@ -27,6 +27,9 @@
 //! * [`queue`] — paired NVMe submission/completion queues with
 //!   configurable count/depth, doorbell + SQE/CQE link accounting and
 //!   full-queue stall tracking, opt-in like faults and tracing;
+//! * [`batch`] — the key-list DMA descriptor ([`KeyListDescriptor`])
+//!   that lets one PE configuration serve N GET keys, amortizing the
+//!   per-invocation config-register tax across a batch;
 //! * [`cache`] — a fixed-budget segmented-LRU block cache in device
 //!   DRAM ([`BlockCache`]): repeated SST block/index reads are served
 //!   by a DRAM-port burst instead of flash, opt-in and zero-cost when
@@ -35,6 +38,7 @@
 //! Simulated time is in **nanoseconds** ([`SimNs`]); both PL clock
 //! domains are exact in ns (10 ns at 100 MHz, 4 ns at 250 MHz).
 
+pub mod batch;
 pub mod cache;
 pub mod dram;
 pub mod events;
@@ -46,6 +50,9 @@ pub mod server;
 pub mod timing;
 pub mod trace;
 
+pub use batch::{
+    KeyListDescriptor, KeyListError, KEY_LIST_HEADER_BYTES, KEY_LIST_MAGIC, KEY_LIST_PAGE_BYTES,
+};
 pub use cache::{BlockCache, CacheStats, INDEX_BLOCK};
 pub use dram::Dram;
 pub use events::EventQueue;

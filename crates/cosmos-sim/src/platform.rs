@@ -412,6 +412,78 @@ impl CosmosPlatform {
         q.pair_mut(qid).commit(complete);
         complete
     }
+
+    /// Admit a coalesced batch of `n` commands (consecutive cids from
+    /// `first_cid`) from `client` at `now`: all `n` slots are claimed —
+    /// stalling through the full-queue window exactly as `n` serial
+    /// admissions would — but the host rings **one** SQ doorbell and the
+    /// controller fetches all `n` SQEs in a single link burst. The
+    /// `n - 1` saved doorbell writes are counted in
+    /// [`QueueStats::coalesced_doorbells`].
+    ///
+    /// Returns `(qid, submit_ns, fetch_done_ns)` like
+    /// [`queue_submit`](Self::queue_submit); with `n == 1` the timings
+    /// are identical to the unbatched call.
+    pub fn queue_submit_batch(
+        &mut self,
+        client: u32,
+        first_cid: u16,
+        n: u16,
+        now: SimNs,
+    ) -> (u16, SimNs, SimNs) {
+        assert!(n >= 1, "a batch admits at least one command");
+        let (qid, submit) = {
+            let q = self.queues.as_mut().expect("NVMe queues not enabled");
+            let qid = q.pair_for_client(client);
+            let mut at = now;
+            for _ in 0..n {
+                at = q.pair_mut(qid).admit(at);
+            }
+            q.pair_mut(qid).note_coalesced(u64::from(n) - 1);
+            (qid, at)
+        };
+        let (_, fetch_done) =
+            self.nvme.transfer(submit + timing::MMIO_WRITE_NS, u64::from(n) * SQE_BYTES);
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                kind: TraceKind::QueueSubmit { qid, cid: first_cid },
+                start: submit,
+                dur: fetch_done - submit,
+            });
+        }
+        (qid, submit, fetch_done)
+    }
+
+    /// Post one completion belonging to a coalesced batch: the 16 B CQE
+    /// still travels per command, but the CQ-head doorbell write-back is
+    /// deferred to the batch's **last** completion — earlier commands
+    /// complete at their CQE post itself (`last == false`), saving one
+    /// MMIO write each (also counted in
+    /// [`QueueStats::coalesced_doorbells`]). With `last == true` the
+    /// timing matches [`queue_complete`](Self::queue_complete) exactly.
+    pub fn queue_complete_batched(
+        &mut self,
+        qid: u16,
+        cid: u16,
+        exec_done: SimNs,
+        last: bool,
+    ) -> SimNs {
+        let (_, cqe_done) = self.nvme.transfer(exec_done, CQE_BYTES);
+        let complete = if last { cqe_done + timing::MMIO_WRITE_NS } else { cqe_done };
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                kind: TraceKind::QueueComplete { qid, cid },
+                start: exec_done,
+                dur: complete - exec_done,
+            });
+        }
+        let q = self.queues.as_mut().expect("NVMe queues not enabled");
+        q.pair_mut(qid).commit(complete);
+        if !last {
+            q.pair_mut(qid).note_coalesced(1);
+        }
+        complete
+    }
 }
 
 #[cfg(test)]
@@ -465,6 +537,67 @@ mod tests {
         assert!(done > fetch + 500_000);
         let stats = p.queues().unwrap().stats_total();
         assert_eq!((stats.submitted, stats.completed), (1, 1));
+    }
+
+    #[test]
+    fn batched_submit_of_one_matches_the_unbatched_call() {
+        let mk = || {
+            let mut p = CosmosPlatform::default_platform();
+            p.enable_queues(crate::queue::NvmeQueueConfig { queues: 2, depth: 4 });
+            p
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let serial = a.queue_submit(3, 7, 1_000);
+        let batched = b.queue_submit_batch(3, 7, 1, 1_000);
+        assert_eq!(serial, batched);
+        let done_a = a.queue_complete(serial.0, 7, serial.2 + 500);
+        let done_b = b.queue_complete_batched(batched.0, 7, batched.2 + 500, true);
+        assert_eq!(done_a, done_b);
+        assert_eq!(b.queues().unwrap().stats_total().coalesced_doorbells, 0);
+    }
+
+    #[test]
+    fn batched_submit_coalesces_doorbells_and_fetches_one_burst() {
+        let mut p = CosmosPlatform::default_platform();
+        p.enable_queues(crate::queue::NvmeQueueConfig { queues: 1, depth: 8 });
+        let n: u16 = 4;
+        let (qid, submit, fetch) = p.queue_submit_batch(0, 0, n, 2_000);
+        assert_eq!(submit, 2_000, "slots were free: no stall");
+        // One doorbell MMIO, then all four SQEs in a single link burst.
+        let expected = submit
+            + timing::MMIO_WRITE_NS
+            + p.nvme.duration_for(u64::from(n) * crate::queue::SQE_BYTES);
+        assert_eq!(fetch, expected);
+        // Per-key completions: CQ doorbell only on the last.
+        let mut last_done = 0;
+        for i in 0..n {
+            let done =
+                p.queue_complete_batched(qid, i, fetch + 1_000 * u64::from(i) + 1_000, i + 1 == n);
+            assert!(done > last_done, "completions stay monotone");
+            last_done = done;
+        }
+        let stats = p.queues().unwrap().stats_total();
+        assert_eq!((stats.submitted, stats.completed), (4, 4));
+        // 3 saved SQ doorbells + 3 saved CQ-head write-backs.
+        assert_eq!(stats.coalesced_doorbells, 6);
+    }
+
+    #[test]
+    fn batched_submit_still_stalls_through_a_full_pair() {
+        let mut p = CosmosPlatform::default_platform();
+        p.enable_queues(crate::queue::NvmeQueueConfig { queues: 1, depth: 2 });
+        // Fill both slots with completions far in the future.
+        let (qid, _, f1) = p.queue_submit(0, 0, 0);
+        p.queue_complete(qid, 0, f1 + 1_000_000);
+        let (_, _, f2) = p.queue_submit(0, 1, 10);
+        p.queue_complete(qid, 1, f2 + 2_000_000);
+        // A batch of 2 stalls until the earliest completion frees a
+        // slot; the freed slot then covers the second admission.
+        let (_, submit, _) = p.queue_submit_batch(0, 2, 2, 20);
+        let stats = p.queues().unwrap().stats_total();
+        assert_eq!(stats.full_stalls, 1, "first admission stalled: {stats:?}");
+        assert!(submit > 1_000_000, "batch admitted only after the earliest completion");
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct QueueStats {
     pub full_stall_ns: SimNs,
     /// High-water mark of concurrently in-flight commands.
     pub max_inflight: u64,
+    /// Doorbell MMIO writes *saved* by batched submission: a batch of N
+    /// commands rings one SQ doorbell instead of N, so each batch adds
+    /// N-1 here (and the CQ-head write-back coalesces the same way).
+    pub coalesced_doorbells: u64,
 }
 
 impl QueueStats {
@@ -74,6 +78,7 @@ impl QueueStats {
         self.full_stalls += other.full_stalls;
         self.full_stall_ns += other.full_stall_ns;
         self.max_inflight = self.max_inflight.max(other.max_inflight);
+        self.coalesced_doorbells += other.coalesced_doorbells;
     }
 }
 
@@ -139,6 +144,12 @@ impl QueuePair {
         self.inflight.push(Reverse(complete_ns));
         self.stats.max_inflight = self.stats.max_inflight.max(self.inflight.len() as u64);
         self.stats.completed += 1;
+    }
+
+    /// Account doorbell MMIO writes saved by a coalesced batch (one SQ
+    /// tail ring + one CQ head write-back for N commands).
+    pub(crate) fn note_coalesced(&mut self, saved: u64) {
+        self.stats.coalesced_doorbells += saved;
     }
 }
 
@@ -261,5 +272,14 @@ mod tests {
         assert_eq!(total.submitted, 2);
         assert_eq!(total.completed, 2);
         assert_eq!(total.max_inflight, 1);
+    }
+
+    #[test]
+    fn coalesced_doorbells_sum_across_pairs() {
+        let mut q = NvmeQueues::new(NvmeQueueConfig { queues: 2, depth: 4 });
+        q.pair_mut(0).note_coalesced(3);
+        q.pair_mut(1).note_coalesced(7);
+        assert_eq!(q.pair(0).stats().coalesced_doorbells, 3);
+        assert_eq!(q.stats_total().coalesced_doorbells, 10);
     }
 }

@@ -54,6 +54,23 @@ pub const OURS_CFG_WRITES: u64 = 7;
 /// RESULT_BYTES (partial-block results have a variable size).
 pub const OURS_CFG_READS: u64 = 2;
 
+/// Steady-state register writes per *key* once a batched GET's key-list
+/// walker owns the datapath: the PL walker advances the descriptor
+/// itself, so the ARM only rings the per-key START strobe. Rules,
+/// addresses and capacities were programmed once by the batch's first
+/// key (which pays the full cold [`OURS_CFG_WRITES`]/[`OURS_CFG_READS`]
+/// sequence).
+pub const BATCH_KEY_CFG_WRITES: u64 = 1;
+/// Register reads per key in batched steady state: none — per-key
+/// result lengths ride the result stream itself (the walker prefixes
+/// each record with its length), not a readback register.
+pub const BATCH_KEY_CFG_READS: u64 = 0;
+
+/// ARM cost of parsing + validating one key-list descriptor header
+/// before handing it to the PL walker (magic/count/flags checks on the
+/// DMA'd page).
+pub const ARM_BATCH_HEADER_PARSE_NS: SimNs = 1_000;
+
 /// ARM software filtering cost per byte, picoseconds (≈5.4 cycles/byte
 /// at 667 MHz: record parse, field extract, compare, branch, result
 /// append). Deliberately above the ~4.96 ns/B aggregate flash rate so the

@@ -110,6 +110,12 @@ pub struct PeDriver<P: PeDevice> {
     /// separately so observability never changes job-path configuration
     /// costs (the timing model's CFG_WRITES/READS constants).
     pub perf_io: IoStats,
+    /// Register accesses performed by the PL-side key-list walker during
+    /// batched (keyed) invocations. The walker re-points the descriptor
+    /// registers itself, PL→PL at fabric speed, so this traffic never
+    /// crosses the PS↔PL bridge the timing model prices — it is tracked
+    /// here, apart from the ARM job path in [`total_io`](Self::total_io).
+    pub walker_io: IoStats,
     /// Rules written during the last configuration (dirty-tracking:
     /// reconfiguring identical filter rules is skipped, like firmware
     /// that caches its last configuration).
@@ -126,6 +132,7 @@ impl<P: PeDevice> PeDriver<P> {
             profile,
             total_io: IoStats::default(),
             perf_io: IoStats::default(),
+            walker_io: IoStats::default(),
             last_rules: None,
             last_job_aggregated: false,
         }
@@ -258,6 +265,82 @@ impl<P: PeDevice> PeDriver<P> {
     /// Forget the cached filter configuration (e.g. after device reset).
     pub fn invalidate_config_cache(&mut self) {
         self.last_rules = None;
+    }
+
+    /// Launch one key of a batched invocation. The datapath was fully
+    /// configured by the batch's first (cold) key; for every subsequent
+    /// key the PL-side key-list walker re-points the descriptor
+    /// registers itself — stage-0 reference value plus the source/
+    /// destination window — at fabric speed, charged to
+    /// [`walker_io`](Self::walker_io). The ARM's job-path cost collapses
+    /// to a single START strobe (`timing::BATCH_KEY_CFG_WRITES == 1`).
+    pub fn launch_keyed(&mut self, job: &FilterJob) -> JobHandle {
+        self.last_job_aggregated = job.aggregate.is_some();
+        let mut wio = IoStats::default();
+        if let Some(r0) = job.rules.first() {
+            let group = offsets::STAGE_BASE;
+            self.write(&mut wio, group + offsets::STAGE_FIELD, r0.lane);
+            self.write(&mut wio, group + offsets::STAGE_OP, r0.op_code);
+            self.write(&mut wio, group + offsets::STAGE_VAL_LO, r0.value as u32);
+            if self.profile == DriverProfile::Generated {
+                self.write(&mut wio, group + offsets::STAGE_VAL_HI, (r0.value >> 32) as u32);
+            }
+            // Keep the rule cache coherent with what is now in the
+            // registers, so a later cold launch dirty-tracks correctly.
+            if let Some(cached) = self.last_rules.as_mut().and_then(|c| c.first_mut()) {
+                *cached = *r0;
+            }
+        }
+        self.write(&mut wio, offsets::SRC_ADDR_LO, job.src as u32);
+        self.write(&mut wio, offsets::SRC_ADDR_HI, (job.src >> 32) as u32);
+        self.write(&mut wio, offsets::DST_ADDR_LO, job.dst as u32);
+        self.write(&mut wio, offsets::DST_ADDR_HI, (job.dst >> 32) as u32);
+        if self.profile == DriverProfile::Generated {
+            self.write(&mut wio, offsets::SRC_LEN, job.len);
+            self.write(&mut wio, offsets::DST_CAPACITY, job.capacity);
+        }
+        self.walker_io.reg_writes += wio.reg_writes;
+        self.walker_io.reg_reads += wio.reg_reads;
+        // ARM side: one START strobe, nothing else.
+        let mut io = IoStats::default();
+        self.write(&mut io, offsets::START, 1);
+        JobHandle { launch_io: io }
+    }
+
+    /// Complete a keyed launch. Per-key result sizes ride the result
+    /// stream itself (the walker prefixes each record with its length),
+    /// so the ARM reads nothing back (`timing::BATCH_KEY_CFG_READS ==
+    /// 0`); the walker's own readback is charged to
+    /// [`walker_io`](Self::walker_io).
+    pub fn complete_keyed(&mut self, mem: &mut dyn MemBus, handle: JobHandle) -> JobResult {
+        let io = handle.launch_io;
+        let block = self.pe.execute(mem);
+        let fc = offsets::STAGE_BASE + self.pe.stages() * offsets::STAGE_STRIDE;
+        let mut wio = IoStats::default();
+        let aggregate = if self.last_job_aggregated {
+            let lo = u64::from(self.read(&mut wio, fc + agg_offsets::AGG_RESULT_LO));
+            let hi = u64::from(self.read(&mut wio, fc + agg_offsets::AGG_RESULT_HI));
+            Some(lo | (hi << 32))
+        } else {
+            None
+        };
+        let (result_bytes, tuples_out) = match self.profile {
+            DriverProfile::Generated => {
+                let rb = self.read(&mut wio, offsets::RESULT_BYTES);
+                let to = self.read(&mut wio, offsets::TUPLES_OUT);
+                (rb, to)
+            }
+            DriverProfile::Baseline => {
+                let map_counter = offsets::STAGE_BASE + self.pe.stages() * offsets::STAGE_STRIDE;
+                let count = self.read(&mut wio, map_counter);
+                (block.result_bytes, count)
+            }
+        };
+        self.walker_io.reg_writes += wio.reg_writes;
+        self.walker_io.reg_reads += wio.reg_reads;
+        self.total_io.reg_writes += io.reg_writes;
+        self.total_io.reg_reads += io.reg_reads;
+        JobResult { block, result_bytes, tuples_out, aggregate, io }
     }
 
     /// Read the hardware performance counters (the header's
@@ -409,6 +492,46 @@ mod tests {
         let res = drv.wait_until_done(&mut mem, io);
         assert_eq!(res.block.tuples_in, 200);
         assert_eq!(res.tuples_out, 180);
+    }
+
+    #[test]
+    fn keyed_invocation_costs_one_strobe_and_matches_cold_results() {
+        let (mut drv, mut mem, ge) = setup();
+        let cold = FilterJob {
+            src: 0,
+            len: 500 * 20,
+            dst: 0x40000,
+            capacity: 1 << 18,
+            rules: vec![FilterRule { lane: 2, op_code: ge, value: 50 }],
+            aggregate: None,
+        };
+        // The batch's first key configures the datapath the normal way.
+        let first = drv.filter_sync(&mut mem, &cold);
+        assert_eq!(first.io.reg_writes, 11);
+        // Subsequent keys: the walker re-points the descriptor; the ARM
+        // pays exactly BATCH_KEY_CFG_WRITES = 1 / BATCH_KEY_CFG_READS = 0.
+        let keyed = FilterJob {
+            rules: vec![FilterRule { lane: 2, op_code: ge, value: 90 }],
+            ..cold.clone()
+        };
+        let walker_before = drv.walker_io;
+        let handle = drv.launch_keyed(&keyed);
+        let res = drv.complete_keyed(&mut mem, handle);
+        assert_eq!((res.io.reg_writes, res.io.reg_reads), (1, 0));
+        assert!(drv.walker_io.reg_writes > walker_before.reg_writes);
+        assert!(drv.walker_io.reg_reads > walker_before.reg_reads);
+        // Results are byte-for-byte what a cold launch would compute.
+        let mut check = PeDriver::new(
+            PeSim::new(elaborate(&parse(REFS).unwrap(), "RefPe").unwrap()),
+            DriverProfile::Generated,
+        );
+        let reference = check.filter_sync(&mut mem, &keyed);
+        assert_eq!(res.tuples_out, reference.tuples_out);
+        assert_eq!(res.result_bytes, reference.result_bytes);
+        // The rule cache stayed coherent: relaunching the keyed rules
+        // cold skips reconfiguration (steady-state 7 writes).
+        let steady = drv.filter_sync(&mut mem, &keyed);
+        assert_eq!(steady.io.reg_writes, 7, "keyed launch kept last_rules in sync");
     }
 
     #[test]

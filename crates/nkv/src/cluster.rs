@@ -348,6 +348,20 @@ pub struct ClusterGet {
     pub sim_ns: SimNs,
 }
 
+/// A cluster batched GET's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMultiGet {
+    /// Per-key outcomes, in input-key order. A key on a missing shard
+    /// (under [`ReadPolicy::Available`]) reads as `Ok(None)`, exactly
+    /// like the single-key path; per-key logic errors from a serving
+    /// shard keep their typed [`NkvError`].
+    pub results: Vec<NkvResult<Option<Vec<u8>>>>,
+    /// Shards that could not serve their slice of the batch.
+    pub missing_shards: Vec<usize>,
+    /// Max participant device time (shard batches run device-parallel).
+    pub sim_ns: SimNs,
+}
+
 /// A cluster scan's outcome: surviving shards' records concatenated in
 /// shard-index order (each shard's records are in its own key order).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1089,6 +1103,78 @@ impl NkvCluster {
                 }
             }
         }
+    }
+
+    /// Cluster batched GET: validates the whole key list against the
+    /// key-list descriptor contract, splits it per shard (each slice
+    /// keeps the input's relative order), runs one batched-GET physical
+    /// op per shard in shard-index order, and scatters the per-key
+    /// results back to input-key order — the same bytes an unbatched
+    /// per-key fan-out would produce.
+    pub fn multi_get(
+        &mut self,
+        table: &str,
+        keys: &[u64],
+        backend: Backend,
+    ) -> NkvResult<ClusterMultiGet> {
+        // Shape violations (empty, duplicate, over-capacity) are logic
+        // errors on the full input list, before any shard is touched.
+        cosmos_sim::KeyListDescriptor::new(keys)
+            .map_err(|e| NkvError::Config(format!("cluster batched GET on `{table}`: {e}")))?;
+        self.probe_quarantined();
+        let router = self.cfg.router;
+        let mut per_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
+        for (i, &k) in keys.iter().enumerate() {
+            per_shard[self.shard_for_key(k)].push((i, k));
+        }
+        let mut results: Vec<NkvResult<Option<Vec<u8>>>> = keys.iter().map(|_| Ok(None)).collect();
+        let mut missing = Vec::new();
+        let mut waits: Vec<(usize, SimNs)> = Vec::new();
+        let mut sim_ns: SimNs = 0;
+        for (shard, slots) in per_shard.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            if !self.shards[shard].fsm.state.serving() {
+                self.unavailable(shard)?;
+                missing.push(shard);
+                continue;
+            }
+            let shard_keys: Vec<u64> = slots.iter().map(|&(_, k)| k).collect();
+            let op = LogicalOp::MultiGet { keys: shard_keys };
+            let res = shard_call(
+                &mut self.shards[shard],
+                &router,
+                &mut self.router_retries,
+                &mut self.router_backoff_ns,
+                |db| match db.execute(table, &op, backend)? {
+                    PlanOutcome::Batch { results, report } => Ok((results, report.sim_ns)),
+                    // A single-key slice folds to the legacy point plan.
+                    PlanOutcome::Point { record, report } => Ok((vec![Ok(record)], report.sim_ns)),
+                    _ => Err(NkvError::Config("batched GET lowered to a non-batch plan".into())),
+                },
+            );
+            match res {
+                Ok((shard_results, ns)) => {
+                    self.shards[shard].fsm.on_success();
+                    for (slot, r) in slots.iter().zip(shard_results) {
+                        results[slot.0] = r;
+                    }
+                    waits.push((shard, ns));
+                    sim_ns = sim_ns.max(ns);
+                }
+                Err(ShardCallError::Logic(e)) => return Err(e),
+                Err(ShardCallError::Fault(reason)) => {
+                    self.shards[shard].fsm.on_error();
+                    if matches!(self.cfg.read_policy, ReadPolicy::Strict) {
+                        return Err(NkvError::ShardUnavailable { shard, reason });
+                    }
+                    missing.push(shard);
+                }
+            }
+        }
+        self.record_router_fanout(&waits);
+        Ok(ClusterMultiGet { results, missing_shards: missing, sim_ns })
     }
 
     /// Cluster SCAN: fan out to every shard, concatenate surviving

@@ -24,6 +24,11 @@ use ndp_swgen::{DriverProfile, PeDriver};
 use std::collections::HashMap;
 use std::fmt;
 
+/// Per-key outcomes of a batched GET, in key order: slot *i* answers
+/// `keys[i]`, independently attributed (see [`NkvDb::multi_get`] and
+/// DESIGN.md §15).
+pub type MultiGetResults = Vec<NkvResult<Option<Vec<u8>>>>;
+
 /// Per-table configuration.
 #[derive(Clone)]
 pub struct TableConfig {
@@ -639,6 +644,58 @@ impl NkvDb {
         crate::engine::run_get(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)
     }
 
+    /// Batched point lookup: N keys served through one key-list DMA
+    /// descriptor and one PE configuration (see `cosmos_sim::batch` and
+    /// DESIGN.md §15). Returns per-key outcomes in key order — each
+    /// slot independently attributed, so a fault on one key's walk is
+    /// that slot's typed error while the rest of the batch completes —
+    /// plus the whole batch's [`SimReport`]. A batch of one lowers to
+    /// the legacy point lookup, bit for bit.
+    pub fn multi_get(
+        &mut self,
+        table: &str,
+        keys: &[u64],
+        mode: ExecMode,
+    ) -> NkvResult<(MultiGetResults, SimReport)> {
+        let now = self.clock;
+        let (results, _, report) = self.multi_get_at(table, keys, mode, now)?;
+        self.clock += report.sim_ns;
+        self.observe(OpKind::Get, report.sim_ns, report.result_bytes);
+        Ok((results, report))
+    }
+
+    /// Batched lookup as of simulated time `now` (no clock/metrics side
+    /// effects; shared by the serial path and the queued scheduler).
+    /// Also returns each key's absolute completion time, monotone in
+    /// key order — the queue engine turns those into per-command CQEs.
+    pub(crate) fn multi_get_at(
+        &mut self,
+        table: &str,
+        keys: &[u64],
+        mode: ExecMode,
+        now: SimNs,
+    ) -> NkvResult<(MultiGetResults, Vec<SimNs>, SimReport)> {
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let plan = PhysicalPlan::lower(
+            &LogicalOp::MultiGet { keys: keys.to_vec() },
+            Backend::from(mode),
+            &t.exec.caps(),
+            table,
+        )?;
+        match plan.op {
+            // Singleton batches fold to the legacy point lookup.
+            PhysOp::PointLookup { .. } => {
+                let (rec, report) =
+                    crate::engine::run_get(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)?;
+                let done = now + report.sim_ns;
+                Ok((vec![Ok(rec)], vec![done], report))
+            }
+            _ => {
+                crate::engine::run_batched_get(&mut self.platform, &t.lsm, &mut t.exec, &plan, now)
+            }
+        }
+    }
+
     /// Full SCAN with a chain of value predicates.
     pub fn scan(
         &mut self,
@@ -745,6 +802,18 @@ impl NkvDb {
                     record.as_ref().map_or(0, |r| r.len() as u64),
                 );
                 Ok(PlanOutcome::Point { record, report })
+            }
+            PhysOp::BatchedGet { .. } => {
+                let (results, _, report) = crate::engine::run_batched_get(
+                    &mut self.platform,
+                    &t.lsm,
+                    &mut t.exec,
+                    &plan,
+                    now,
+                )?;
+                self.clock += report.sim_ns;
+                self.observe(OpKind::Get, report.sim_ns, report.result_bytes);
+                Ok(PlanOutcome::Batch { results, report })
             }
             PhysOp::FilterScan => {
                 let (records, report) =

@@ -42,6 +42,7 @@ use cosmos_sim::{timing, CosmosPlatform, FlashArray, SimNs};
 use ndp_pe::oracle::FilterRule;
 use ndp_pe::pipeline::estimate_block_cycles;
 use ndp_swgen::{DriverProfile, FilterJob};
+use std::collections::HashMap;
 
 /// Per-driver DRAM staging layout: input buffer then output buffer.
 const STAGE_STRIDE: u64 = 256 * 1024;
@@ -342,6 +343,21 @@ fn eq_code(_ops: &ndp_pe::oracle::OpTable) -> u32 {
     2
 }
 
+/// How a hardware block job configures the PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PeInvoke {
+    /// First block of an op: full reconfiguration, rule cache
+    /// invalidated first (the legacy `first_block = true`).
+    Cold,
+    /// Steady-state scan block: rules are cached, addresses/lengths are
+    /// rewritten (the legacy `first_block = false`).
+    Warm,
+    /// Batched-GET steady state: the PL key-list walker re-points the
+    /// descriptor registers itself; the ARM pays a single START strobe
+    /// (`timing::BATCH_KEY_CFG_WRITES`/`READS`).
+    Keyed,
+}
+
 /// One block's worth of hardware filtering (shared by GET and SCAN).
 /// Returns `(tuples_in, tuples_out, pe_cycles, io_writes, io_reads,
 /// bytes_written)`.
@@ -352,7 +368,7 @@ fn hw_filter_block(
     data: &[u8],
     rules: &[FilterRule],
     driver_idx: usize,
-    first_block: bool,
+    invoke: PeInvoke,
     out: &mut Vec<u8>,
 ) -> (u64, u64, u64, u64, u64, u64) {
     if exec.cycle_accurate {
@@ -360,7 +376,7 @@ fn hw_filter_block(
         let out_addr = in_addr + STAGE_OUT_OFF;
         dram.write(in_addr, data);
         let drv = &mut exec.drivers[driver_idx];
-        if first_block {
+        if invoke == PeInvoke::Cold {
             drv.invalidate_config_cache();
         }
         let job = FilterJob {
@@ -371,8 +387,13 @@ fn hw_filter_block(
             rules: rules.to_vec(),
             aggregate: None,
         };
-        let handle = drv.launch(&job);
-        let res = drv.complete(&mut DramBus(dram), handle);
+        let res = if invoke == PeInvoke::Keyed {
+            let handle = drv.launch_keyed(&job);
+            drv.complete_keyed(&mut DramBus(dram), handle)
+        } else {
+            let handle = drv.launch(&job);
+            drv.complete(&mut DramBus(dram), handle)
+        };
         let start = out.len();
         out.resize(start + res.result_bytes as usize, 0);
         dram.read(out_addr, &mut out[start..]);
@@ -397,7 +418,11 @@ fn hw_filter_block(
             bytes_written,
             exec.stages,
         );
-        let (w, r) = exec.cfg_io(first_block, rules.len());
+        let (w, r) = match invoke {
+            PeInvoke::Keyed => (timing::BATCH_KEY_CFG_WRITES, timing::BATCH_KEY_CFG_READS),
+            PeInvoke::Cold => exec.cfg_io(true, rules.len()),
+            PeInvoke::Warm => exec.cfg_io(false, rules.len()),
+        };
         (u64::from(stats.tuples_in), u64::from(stats.tuples_out), cycles, w, r, bytes_written)
     }
 }
@@ -461,7 +486,7 @@ fn scan_block_job(
                 data,
                 &plan.pushed,
                 d,
-                !configured[d],
+                if configured[d] { PeInvoke::Warm } else { PeInvoke::Cold },
                 out,
             );
             configured[d] = true;
@@ -1011,8 +1036,15 @@ pub(crate) fn run_get(
                     // the reference value, so no rule caching applies.
                     let rules = [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
                     let mut out = Vec::new();
-                    let (tin, tout, cycles, w, r, bytes_written) =
-                        hw_filter_block(exec, &mut platform.dram, &data, &rules, d, true, &mut out);
+                    let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
+                        exec,
+                        &mut platform.dram,
+                        &data,
+                        &rules,
+                        d,
+                        PeInvoke::Cold,
+                        &mut out,
+                    );
                     report.tuples_in += tin;
                     report.tuples_out += tout;
                     report.reg_writes += w;
@@ -1059,4 +1091,234 @@ pub(crate) fn run_get(
     }
     report.sim_ns = t - now;
     Ok((None, report))
+}
+
+/// Per-batch shared state: the first key of a batch to touch an index
+/// page or a data block pays its flash read; later keys reuse the
+/// in-DRAM copy (waiting until it is ready when they get there first).
+/// This is what makes batching beat N serial GETs on the flash-bound
+/// walk — every key of a batch probes the same L0/L1 index pages.
+#[derive(Default)]
+struct BatchShared {
+    /// `sst.id` → time its index page is read + parsed.
+    index_parsed: HashMap<u64, SimNs>,
+    /// `(sst.id, block)` → (staged-complete time, block bytes).
+    blocks: HashMap<(u64, usize), (SimNs, Vec<u8>)>,
+}
+
+/// One key's lookup inside a batched GET: [`run_get`]'s walk with three
+/// batch twists — index pages and staged blocks are shared through
+/// `shared`, the PE is configured cold only by the batch's first
+/// hardware block (`batch_configured`; every later key is a
+/// [`PeInvoke::Keyed`] strobe), and the per-key NVMe result transfer is
+/// left to the caller so results stream back in key order.
+#[allow(clippy::too_many_arguments)]
+fn batched_key_walk(
+    platform: &mut CosmosPlatform,
+    lsm: &LsmTree,
+    exec: &mut TableExec,
+    backend: Backend,
+    key: u64,
+    start: SimNs,
+    shared: &mut BatchShared,
+    batch_configured: &mut bool,
+    report: &mut SimReport,
+) -> NkvResult<(Option<Vec<u8>>, SimNs)> {
+    let (_, mut t) = platform.arm.schedule(start, timing::ARM_MEMTABLE_PROBE_NS);
+    match lsm.memtable_get(key) {
+        Some(Entry::Value(v)) => return Ok((Some(v.clone()), t)),
+        Some(Entry::Tombstone) => return Ok((None, t)),
+        None => {}
+    }
+    let candidates: Vec<SstMeta> = lsm.candidate_ssts(key).into_iter().cloned().collect();
+    for sst in &candidates {
+        if let Some(&page) = sst.index_pages.first() {
+            t = match shared.index_parsed.get(&sst.id) {
+                // A batch-mate already read + parsed this index page:
+                // reuse the in-DRAM parse, waiting for it if needed.
+                Some(&parsed) => t.max(parsed),
+                None => {
+                    let idx_done = index_page_read(platform, exec, sst.id, page, t)?;
+                    let (_, parsed) = platform.arm.schedule(idx_done, 2_000);
+                    shared.index_parsed.insert(sst.id, parsed);
+                    parsed
+                }
+            };
+        }
+        if sst.is_tombstoned(key) {
+            return Ok((None, t));
+        }
+        if !sst.may_contain(key) {
+            continue;
+        }
+        let Some(bi) = sst.block_for(key) else { continue };
+        let (staged, data) = match shared.blocks.get(&(sst.id, bi)) {
+            Some((s, d)) => ((*s).max(t), d.clone()),
+            None => {
+                let (s, d) = staged_block_read(platform, exec, sst, bi, t)?;
+                report.blocks += 1;
+                report.bytes_scanned += d.len() as u64;
+                shared.blocks.insert((sst.id, bi), (s, d.clone()));
+                (s, d)
+            }
+        };
+
+        let (found, done) = if backend == Backend::Software {
+            let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+            let (_, done) = platform.arm.schedule(staged, timing::ARM_BLOCK_SEARCH_NS);
+            (rec, done)
+        } else {
+            let pe_down = exec.pe_failed.first().copied().unwrap_or(false);
+            let candidate = if pe_down { None } else { Some(0) };
+            match claim_pe(platform, exec, candidate, true)? {
+                PeGrant::Sw { hung } => {
+                    let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+                    let (_, done) = platform
+                        .arm
+                        .schedule(sw_resume_at(exec, staged, hung), timing::ARM_BLOCK_SEARCH_NS);
+                    (rec, done)
+                }
+                PeGrant::Hw(d) => {
+                    let invoke = if *batch_configured { PeInvoke::Keyed } else { PeInvoke::Cold };
+                    let rules = [FilterRule { lane: 0, op_code: eq_code(&exec.ops), value: key }];
+                    let mut out = Vec::new();
+                    let (tin, tout, cycles, w, r, bytes_written) = hw_filter_block(
+                        exec,
+                        &mut platform.dram,
+                        &data,
+                        &rules,
+                        d,
+                        invoke,
+                        &mut out,
+                    );
+                    *batch_configured = true;
+                    report.tuples_in += tin;
+                    report.tuples_out += tout;
+                    report.reg_writes += w;
+                    report.reg_reads += r;
+                    let done = schedule_hw_job(
+                        platform,
+                        exec,
+                        d,
+                        staged,
+                        cycles,
+                        w,
+                        r,
+                        None,
+                        Some(bytes_written),
+                    );
+                    let rec = if out.is_empty() {
+                        None
+                    } else {
+                        let n = lsm.record_bytes();
+                        Some(
+                            out.get(..n)
+                                .ok_or(NkvError::ResultDecode {
+                                    offset: 0,
+                                    need: n,
+                                    len: out.len(),
+                                })?
+                                .to_vec(),
+                        )
+                    };
+                    (rec, done)
+                }
+            }
+        };
+        t = done;
+        if let Some(rec) = found {
+            return Ok((Some(rec), t));
+        }
+    }
+    Ok((None, t))
+}
+
+/// Execute a lowered batched-GET plan: one key-list descriptor DMA, one
+/// PE configuration, N streamed point lookups.
+///
+/// Per-key outcomes are independently attributed — a fault on one key's
+/// walk lands as that slot's typed error while the rest of the batch
+/// completes — and per-key completion times are monotone in key order
+/// (results stream back in list order, so a key's completion never
+/// precedes its predecessor's). The per-key chains expand from a common
+/// start and overlap on the shared timelines, exactly like the parallel
+/// scan's worker streams.
+pub(crate) fn run_batched_get(
+    platform: &mut CosmosPlatform,
+    lsm: &LsmTree,
+    exec: &mut TableExec,
+    plan: &PhysicalPlan,
+    now: SimNs,
+) -> NkvResult<(crate::db::MultiGetResults, Vec<SimNs>, SimReport)> {
+    let PhysOp::BatchedGet { keys } = &plan.op else {
+        unreachable!("run_batched_get requires a BatchedGet plan");
+    };
+    let mut report = SimReport::default();
+    let t0 = now + platform.firmware.op_overhead_ns();
+
+    // Host DMAs the key-list descriptor; the ARM validates its header.
+    let desc = cosmos_sim::KeyListDescriptor::new(keys)
+        .map_err(|e| NkvError::Config(format!("batched GET: {e}")))?;
+    let (nv_start, dma_done) = platform.nvme.transfer(t0, desc.dma_bytes() as u64);
+    platform.trace_nvme(nv_start, dma_done - nv_start, desc.dma_bytes() as u64);
+    let (_, t_start) = platform.arm.schedule(dma_done, timing::ARM_BATCH_HEADER_PARSE_NS);
+
+    // Per-key chains overlap on the shared timelines; a queue run
+    // already owns backfill mode, so restore only when we turned it on.
+    let in_queue_run = platform.queues().is_some();
+    platform.set_parallel_dispatch(true);
+    for s in &mut exec.pe_servers {
+        s.set_backfill(true);
+    }
+
+    let mut shared = BatchShared::default();
+    let mut batch_configured = false;
+    let mut results = Vec::with_capacity(keys.len());
+    let mut dones = Vec::with_capacity(keys.len());
+    let mut last_done = t_start;
+    for &key in keys {
+        match batched_key_walk(
+            platform,
+            lsm,
+            exec,
+            plan.backend,
+            key,
+            t_start,
+            &mut shared,
+            &mut batch_configured,
+            &mut report,
+        ) {
+            Ok((rec, t_key)) => {
+                // Results stream back in key order: this key's record
+                // rides the NVMe link no earlier than its predecessor's
+                // completion.
+                let mut host = t_key.max(last_done);
+                if let Some(r) = &rec {
+                    let (nv_s, h) = platform.nvme.transfer(host, r.len() as u64);
+                    platform.trace_nvme(nv_s, h - nv_s, r.len() as u64);
+                    report.result_bytes += r.len() as u64;
+                    host = h;
+                }
+                last_done = host;
+                results.push(Ok(rec));
+                dones.push(host);
+            }
+            Err(e) => {
+                // Typed error attributed to this key's slot; the rest
+                // of the batch continues, and the error completion
+                // still posts in order.
+                results.push(Err(e));
+                dones.push(last_done);
+            }
+        }
+    }
+
+    if !in_queue_run {
+        platform.set_parallel_dispatch(false);
+        for s in &mut exec.pe_servers {
+            s.set_backfill(false);
+        }
+    }
+    report.sim_ns = last_done.saturating_sub(now);
+    Ok((results, dones, report))
 }

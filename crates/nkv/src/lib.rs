@@ -71,11 +71,11 @@ pub mod sst;
 pub mod util;
 
 pub use cluster::{
-    ClusterAggregate, ClusterConfig, ClusterGet, ClusterHealthReport, ClusterRunReport,
-    ClusterScan, ClusterStats, HealthFsmConfig, NkvCluster, ReadPolicy, ShardHealth, ShardState,
-    ShardStatsRow, ShardStrategy,
+    ClusterAggregate, ClusterConfig, ClusterGet, ClusterHealthReport, ClusterMultiGet,
+    ClusterRunReport, ClusterScan, ClusterStats, HealthFsmConfig, NkvCluster, ReadPolicy,
+    ShardHealth, ShardState, ShardStatsRow, ShardStrategy,
 };
-pub use db::{HealthReport, NkvDb, ScanSummary, TableConfig};
+pub use db::{HealthReport, MultiGetResults, NkvDb, ScanSummary, TableConfig};
 pub use engine::ParallelScanStats;
 pub use error::{NkvError, NkvResult};
 pub use exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport};

@@ -36,6 +36,9 @@ use ndp_pe::oracle::{FilterRule, OpTable};
 pub enum LogicalOp {
     /// Point lookup by key.
     Get { key: u64 },
+    /// Batched point lookup: N keys served by one PE configuration via
+    /// a key-list DMA descriptor (see `cosmos_sim::batch`).
+    MultiGet { keys: Vec<u64> },
     /// Full scan with a conjunctive predicate chain.
     Scan { rules: Vec<FilterRule> },
     /// Key-range scan: `lo <= key < hi`.
@@ -98,6 +101,10 @@ pub struct PlanCaps {
 pub enum PhysOp {
     /// Memtable probe, then bloom-pruned index walk + one block search.
     PointLookup { key: u64 },
+    /// One key-list descriptor DMA, one PE configuration, N streamed
+    /// point lookups. Keys are validated against the descriptor's
+    /// shape rules (non-empty, ≤ capacity, no duplicates) at lowering.
+    BatchedGet { keys: Vec<u64> },
     /// Filter every data block, reconcile versions, return records.
     FilterScan,
     /// Filter every data block into a register-resident reduction.
@@ -136,6 +143,24 @@ impl PhysicalPlan {
                 residual: Vec::new(),
                 parallel_pes: 0,
             }),
+            LogicalOp::MultiGet { keys } => {
+                // A batch of one folds to the legacy point lookup, so
+                // every serial timing/result stays byte-identical.
+                if let [key] = keys[..] {
+                    return Self::lower(&LogicalOp::Get { key }, backend, caps, table);
+                }
+                // Validate batch shape through the descriptor itself:
+                // the planner rejects exactly what the device would.
+                cosmos_sim::KeyListDescriptor::new(keys)
+                    .map_err(|e| NkvError::Config(format!("batched GET on `{table}`: {e}")))?;
+                Ok(PhysicalPlan {
+                    op: PhysOp::BatchedGet { keys: keys.clone() },
+                    backend,
+                    pushed: Vec::new(),
+                    residual: Vec::new(),
+                    parallel_pes: 0,
+                })
+            }
             LogicalOp::Scan { rules } => Self::lower_scan(rules, backend, caps, table),
             LogicalOp::RangeScan { lo, hi } => {
                 // The paper's 2-stage showcase: `lo <= key < hi` on lane 0.
@@ -240,6 +265,28 @@ impl PhysicalPlan {
                     }
                 }
             }
+            PhysOp::BatchedGet { keys } => {
+                s.push_str(&format!(
+                    "PLAN BATCHED-GET ON {table} (backend: {}, batch: {})\n",
+                    self.backend.name(),
+                    keys.len()
+                ));
+                s.push_str(
+                    "  one key-list descriptor DMA -> shared index walk -> per-key block search\n",
+                );
+                match self.backend {
+                    Backend::Software => {
+                        s.push_str("  ARM block search per key (no PE configuration at all)\n");
+                    }
+                    _ => {
+                        s.push_str(
+                            "  pushed -> PE 0, configured once; key-list walker re-points \
+                             lane0 == key per entry\n",
+                        );
+                    }
+                }
+                s.push_str("  then: per-key result stream over NVMe, in key order\n");
+            }
             PhysOp::FilterScan => {
                 s.push_str(&format!("PLAN SCAN ON {table} (backend: {})\n", self.backend.name()));
                 if self.backend == Backend::Software {
@@ -341,6 +388,11 @@ pub enum PlanOutcome {
     Aggregate { value: u64, any: bool, report: crate::exec::SimReport },
     /// A point lookup's record, if found.
     Point { record: Option<Vec<u8>>, report: crate::exec::SimReport },
+    /// A batched lookup's per-key outcomes, in key-list order. Each
+    /// slot is independently attributed: a fault on one key's walk
+    /// surfaces as that slot's typed error while the rest of the batch
+    /// completes.
+    Batch { results: Vec<NkvResult<Option<Vec<u8>>>>, report: crate::exec::SimReport },
 }
 
 #[cfg(test)]
@@ -433,6 +485,37 @@ mod tests {
             PhysicalPlan::lower(&long, Backend::Hybrid, &c, "t"),
             Err(NkvError::Config(_))
         ));
+    }
+
+    #[test]
+    fn multi_get_lowers_to_batched_get_and_folds_singletons() {
+        let c = caps(1, true, 0);
+        let p = PhysicalPlan::lower(
+            &LogicalOp::MultiGet { keys: vec![5, 9, 1] },
+            Backend::Hardware,
+            &c,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(p.op, PhysOp::BatchedGet { keys: vec![5, 9, 1] });
+        // Batch of one is the legacy point lookup, bit for bit.
+        let one =
+            PhysicalPlan::lower(&LogicalOp::MultiGet { keys: vec![5] }, Backend::Hardware, &c, "t")
+                .unwrap();
+        let get =
+            PhysicalPlan::lower(&LogicalOp::Get { key: 5 }, Backend::Hardware, &c, "t").unwrap();
+        assert_eq!(one, get);
+    }
+
+    #[test]
+    fn multi_get_rejects_descriptor_shape_violations_as_config_errors() {
+        let c = caps(1, true, 0);
+        for keys in [vec![], vec![3, 4, 3], (0..600).collect::<Vec<u64>>()] {
+            let err =
+                PhysicalPlan::lower(&LogicalOp::MultiGet { keys }, Backend::Hardware, &c, "t")
+                    .unwrap_err();
+            assert!(matches!(err, NkvError::Config(_)), "{err:?}");
+        }
     }
 
     #[test]

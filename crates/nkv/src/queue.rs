@@ -61,11 +61,17 @@ pub struct QueueRunConfig {
     pub mode: ExecMode,
     /// NVMe queue geometry exposed by the controller for the run.
     pub queues: NvmeQueueConfig,
+    /// Auto-batching limit: up to this many *adjacent* queued GETs of
+    /// one client are folded into a single batched-GET physical op (one
+    /// key-list descriptor, one PE configuration, coalesced doorbells).
+    /// `1` (the default) disables folding — the run takes the legacy
+    /// per-command code path, bit for bit.
+    pub batch: u32,
 }
 
 impl Default for QueueRunConfig {
     fn default() -> Self {
-        Self { depth: 8, mode: ExecMode::Hardware, queues: NvmeQueueConfig::default() }
+        Self { depth: 8, mode: ExecMode::Hardware, queues: NvmeQueueConfig::default(), batch: 1 }
     }
 }
 
@@ -151,6 +157,16 @@ impl NkvDb {
         if cfg.depth == 0 {
             return Err(NkvError::Config("queue run depth must be at least 1".into()));
         }
+        if cfg.batch == 0 {
+            return Err(NkvError::Config("queue run batch must be at least 1".into()));
+        }
+        if cfg.batch as usize > cosmos_sim::KeyListDescriptor::MAX_KEYS {
+            return Err(NkvError::Config(format!(
+                "queue run batch of {} exceeds the key-list descriptor capacity of {}",
+                cfg.batch,
+                cosmos_sim::KeyListDescriptor::MAX_KEYS
+            )));
+        }
         if !self.tables.contains_key(table) {
             return Err(NkvError::UnknownTable(table.into()));
         }
@@ -194,6 +210,88 @@ impl NkvDb {
         let mut latency = LatencyHistogram::new();
         let mut cid: u16 = 0;
         while let Some(Reverse((at, client, seq))) = ready.pop() {
+            // Auto-batching: fold the client's *adjacent* ready GETs —
+            // consecutive seqs, same submit time, distinct keys — into
+            // one batched-GET physical op. With `batch == 1` this whole
+            // branch is skipped and the run is the legacy path, bit for
+            // bit. Adjacency in the heap preserves per-client order: a
+            // non-GET, a duplicate key, or a later submit time ends the
+            // fold rather than being skipped over.
+            if cfg.batch > 1 {
+                if let QueuedOp::Get { key } = scripts[client as usize].ops[seq as usize] {
+                    let mut seqs = vec![seq];
+                    let mut keys = vec![key];
+                    while keys.len() < cfg.batch as usize {
+                        let expect = (at, client, seqs.last().unwrap() + 1);
+                        match ready.peek() {
+                            Some(Reverse(e)) if *e == expect => {}
+                            _ => break,
+                        }
+                        let QueuedOp::Get { key: k } =
+                            scripts[client as usize].ops[expect.2 as usize]
+                        else {
+                            break;
+                        };
+                        if keys.contains(&k) {
+                            break;
+                        }
+                        ready.pop();
+                        seqs.push(expect.2);
+                        keys.push(k);
+                    }
+                    if keys.len() > 1 {
+                        let n = keys.len();
+                        let first_cid = cid;
+                        let (qid, submit, fetch) =
+                            self.platform.queue_submit_batch(client, first_cid, n as u16, at);
+                        cid = cid.wrapping_add(n as u16);
+                        let (results, dones, _) =
+                            self.multi_get_at(table, &keys, cfg.mode, fetch)?;
+                        let mut batch_complete = fetch;
+                        for (i, (res, exec_done)) in results.into_iter().zip(dones).enumerate() {
+                            // A typed per-key error aborts the run, like
+                            // the unbatched path's `?` on execute_at.
+                            let rec = res?;
+                            let payload = rec.unwrap_or_default();
+                            let complete = self.platform.queue_complete_batched(
+                                qid,
+                                first_cid.wrapping_add(i as u16),
+                                exec_done,
+                                i + 1 == n,
+                            );
+                            self.observe(OpKind::Get, complete - submit, payload.len() as u64);
+                            latency.record(complete - submit);
+                            completions.push(CommandRecord {
+                                client,
+                                seq: seqs[i],
+                                qid,
+                                kind: OpKind::Get,
+                                submit_ns: submit,
+                                fetch_ns: fetch,
+                                exec_done_ns: exec_done,
+                                complete_ns: complete,
+                                exec_ns: exec_done - fetch,
+                                result_bytes: payload.len() as u64,
+                                payload,
+                            });
+                            batch_complete = complete;
+                        }
+                        // Refill the whole window the batch consumed, at
+                        // the batch's last completion — the host drains
+                        // the CQ burst at the coalesced doorbell, so the
+                        // refills share one submit time and can fold
+                        // again next round.
+                        let c = client as usize;
+                        for _ in 0..n {
+                            if next_seq[c] < scripts[c].ops.len() {
+                                ready.push(Reverse((batch_complete, client, next_seq[c] as u32)));
+                                next_seq[c] += 1;
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
             let op = &scripts[client as usize].ops[seq as usize];
             let (qid, submit, fetch) = self.platform.queue_submit(client, cid, at);
             cid = cid.wrapping_add(1);
@@ -299,6 +397,20 @@ mod tests {
         let mut db = NkvDb::default_db();
         let cfg = QueueRunConfig { depth: 0, ..QueueRunConfig::default() };
         assert!(db.run_queued("t", &[], &cfg).is_err());
+    }
+
+    #[test]
+    fn batch_bounds_are_validated() {
+        let mut db = NkvDb::default_db();
+        db.create_table("t", crate::db::TableConfig::new(test_pe())).unwrap();
+        let zero = QueueRunConfig { batch: 0, ..QueueRunConfig::default() };
+        assert!(matches!(db.run_queued("t", &[], &zero), Err(NkvError::Config(_))));
+        // One past the key-list descriptor's single-DMA-page capacity.
+        let over = QueueRunConfig { batch: 511, ..QueueRunConfig::default() };
+        assert!(matches!(db.run_queued("t", &[], &over), Err(NkvError::Config(_))));
+        let max = QueueRunConfig { batch: 510, ..QueueRunConfig::default() };
+        assert!(max.batch as usize == cosmos_sim::KeyListDescriptor::MAX_KEYS);
+        assert!(db.run_queued("t", &[], &max).is_ok());
     }
 
     #[test]

@@ -203,3 +203,173 @@ fn determinism_campaign_across_seeds() {
         }
     }
 }
+
+/// Contract 4 (batched invocation): folding adjacent queued GETs into
+/// key-list batches is a pure scheduling transform. For every batch
+/// size, against the batch-1 run of identical scripts on an identical
+/// device:
+///
+/// - per-(client, seq) payloads are byte-identical;
+/// - batch assembly preserves per-client order: the members of each
+///   folded batch (records sharing a client and submit time) are
+///   contiguous seqs whose CQEs post in seq order, so their completion
+///   timestamps are monotone;
+/// - the completion stream stays time-sorted;
+/// - the op count and queue submitted/completed counters are unchanged,
+///   while each batch of n saves `2(n-1)` doorbell MMIOs.
+///
+/// Completion times are *not* globally seq-monotone per client — with
+/// depth 8 a cheap GET legitimately overtakes an in-flight SCAN on the
+/// legacy path too — so the ordering contract is scoped to batches.
+#[test]
+fn batching_preserves_per_client_order_and_payloads() {
+    let run = |batch: u32| {
+        let (mut db, cfg) = make_db();
+        // GET-heavy scripts with occasional PUT/SCAN fold-breakers.
+        let scripts: Vec<ClientScript> = (0..3).map(|c| script(&cfg, 23, c, 16)).collect();
+        db.run_queued(TABLE, &scripts, &QueueRunConfig { depth: 8, batch, ..Default::default() })
+            .expect("queued run")
+    };
+    let base = run(1);
+    assert_eq!(base.queue.coalesced_doorbells, 0, "batch 1 must be the legacy path");
+    for batch in [2u32, 4, 8, 16] {
+        let b = run(batch);
+        assert_eq!(b.ops(), base.ops(), "batch {batch}");
+        assert_eq!(b.queue.submitted, base.queue.submitted, "batch {batch}");
+        assert_eq!(b.queue.completed, base.queue.completed, "batch {batch}");
+
+        let key = |r: &nkv::CommandRecord| (r.client, r.seq);
+        let mut base_sorted: Vec<_> =
+            base.completions.iter().map(|r| (key(r), r.payload.clone())).collect();
+        let mut b_sorted: Vec<_> =
+            b.completions.iter().map(|r| (key(r), r.payload.clone())).collect();
+        base_sorted.sort();
+        b_sorted.sort();
+        assert_eq!(b_sorted, base_sorted, "batch {batch}: payloads diverged from batch 1");
+
+        // Group the run's records into batches by (client, submit_ns,
+        // fetch_ns): a fold shares one submit and one SQE-burst fetch,
+        // while separate commands — even ones admitted on the same
+        // nanosecond — serialize through the NVMe link and land on
+        // distinct fetch times.
+        let mut groups: std::collections::BTreeMap<(u32, u64, u64), Vec<&nkv::CommandRecord>> =
+            std::collections::BTreeMap::new();
+        for r in &b.completions {
+            groups.entry((r.client, r.submit_ns, r.fetch_ns)).or_default().push(r);
+        }
+        let mut folded = 0usize;
+        for ((client, _, _), mut members) in groups {
+            members.sort_by_key(|r| r.seq);
+            if members.len() < 2 {
+                continue;
+            }
+            folded += 1;
+            assert!(
+                members.len() <= batch as usize,
+                "batch {batch} client {client}: fold exceeded the configured width"
+            );
+            assert!(
+                members.windows(2).all(|w| w[1].seq == w[0].seq + 1),
+                "batch {batch} client {client}: a fold must take contiguous seqs"
+            );
+            assert!(
+                members.windows(2).all(|w| w[0].complete_ns <= w[1].complete_ns),
+                "batch {batch} client {client}: CQEs within a batch post in seq order"
+            );
+            assert!(
+                members.iter().all(|r| r.kind == nkv::OpKind::Get),
+                "batch {batch} client {client}: only GETs fold"
+            );
+        }
+        assert!(folded > 0, "batch {batch}: GET-heavy scripts must actually fold");
+
+        // The merged stream stays time-sorted.
+        let times: Vec<u64> = b.completions.iter().map(|r| r.complete_ns).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "batch {batch}");
+
+        assert!(b.queue.coalesced_doorbells > 0, "batch {batch}: folding must coalesce doorbells");
+    }
+}
+
+/// Batched runs are as reproducible as unbatched ones: same seed, same
+/// database, same whole-report bytes.
+#[test]
+fn batched_runs_are_deterministic() {
+    let run = || {
+        let (mut db, cfg) = make_db();
+        let scripts: Vec<ClientScript> = (0..2).map(|c| script(&cfg, 7, c, 12)).collect();
+        db.run_queued(TABLE, &scripts, &QueueRunConfig { depth: 8, batch: 8, ..Default::default() })
+            .expect("queued run")
+    };
+    assert_eq!(run(), run());
+}
+
+/// Regression pin for the fold's bounds handling (the batched-GET
+/// audit): the fold walks `scripts[client].ops[seq + 1..]` guided by
+/// heap entries, so every degenerate shape — a batch wider than the
+/// depth window, wider than the script itself, scripts of one op,
+/// scripts whose keys repeat inside a would-be batch — must terminate
+/// the fold cleanly instead of indexing out of bounds or stalling, and
+/// must still return the batch-1 bytes.
+#[test]
+fn fold_stops_cleanly_at_every_window_and_script_boundary() {
+    let mut cfg = PubGraphConfig::scaled(1.0 / 4096.0);
+    cfg.papers = N_RECORDS;
+    let mut put_rec = Vec::with_capacity(80);
+    PaperGen::paper_at(&cfg, 3).encode_into(&mut put_rec);
+    let shapes: &[(&str, u32, Vec<Vec<QueuedOp>>)] = &[
+        (
+            "batch wider than depth",
+            64,
+            vec![(0..12).map(|i| QueuedOp::Get { key: 1 + i }).collect()],
+        ),
+        (
+            "batch wider than script",
+            64,
+            vec![(0..3).map(|i| QueuedOp::Get { key: 1 + i }).collect()],
+        ),
+        ("single-op script", 16, vec![vec![QueuedOp::Get { key: 5 }]]),
+        (
+            "duplicate keys inside the window",
+            16,
+            vec![vec![
+                QueuedOp::Get { key: 7 },
+                QueuedOp::Get { key: 7 },
+                QueuedOp::Get { key: 7 },
+                QueuedOp::Get { key: 9 },
+            ]],
+        ),
+        (
+            "fold broken by a trailing PUT at the script edge",
+            16,
+            vec![vec![
+                QueuedOp::Get { key: 3 },
+                QueuedOp::Get { key: 4 },
+                QueuedOp::Put { record: put_rec.clone() },
+            ]],
+        ),
+    ];
+    for (name, batch, ops) in shapes {
+        let run = |b: u32| {
+            let (mut db, _) = make_db();
+            let scripts: Vec<ClientScript> =
+                ops.iter().map(|o| ClientScript { ops: o.clone() }).collect();
+            db.run_queued(
+                TABLE,
+                &scripts,
+                &QueueRunConfig { depth: 4, batch: b, ..Default::default() },
+            )
+            .expect(name)
+        };
+        let base = run(1);
+        let b = run(*batch);
+        assert_eq!(b.ops(), base.ops(), "{name}");
+        let project = |r: &nkv::QueueRunReport| {
+            let mut v: Vec<_> =
+                r.completions.iter().map(|c| (c.client, c.seq, c.payload.clone())).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(project(&b), project(&base), "{name}: bytes diverged");
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (deny warnings), the test suite
 # (including the golden-artifact snapshots and the plan-,
-# cache-equivalence and cluster-chaos differential suites), the
-# observability example (+ trace-JSON validity), a fast-mode repro run
+# cache-equivalence, cluster-chaos and batched-GET differential
+# suites), the observability example (+ trace-JSON validity), a
+# fast-mode repro run
 # diffed against the committed reference output, a fixed-seed loadgen
 # smoke run (latency tail + parallel-PE sweep) diffed the same way, the
 # DRAM block-cache sweep gate, the cluster clients x devices scaling
@@ -54,6 +55,13 @@ echo "==> cluster chaos: sharded reads survive device-level fault campaigns"
 # hang/power-cut/link-loss, and walk the health FSM monotonically.
 cargo test -q --test cluster_chaos
 
+echo "==> batched-GET equivalence: key-list batches match the unbatched bytes"
+# Named gate for the batched PE invocation layer: every backend x batch
+# size x fault weather (ECC storms, PE hangs mid-batch, power-cut
+# shards) must return the unbatched bytes with per-key typed errors,
+# and a batch of one must be the legacy path.
+cargo test -q --test batched_get_equivalence
+
 echo "==> profiling example + trace JSON validity"
 cargo run --release --example profiling -- target/profile_trace.json > /dev/null
 if command -v python3 > /dev/null; then
@@ -99,6 +107,24 @@ awk -v off="$off_p50" -v warm="$full_p50" 'BEGIN {
     }
 }'
 
+echo "==> batched-GET sweep holds the queued-path speedup at the smoke seed"
+# The queue engine folds adjacent GETs into key-list batches; at the
+# fixed smoke seed the batch-16 row must keep >= 4x the batch-1 GET
+# throughput (the serial >= 5x acceptance gate rides on
+# batched_get_speedup in BENCH_profile.json below — the queued baseline
+# already overlaps ops at depth 16, so its honest win is smaller).
+./target/release/repro loadgen --clients 2 --depth 4 --ops 32 --seed 42 \
+    --scale 0.00048828125 --batch 16 > target/loadgen_batched.txt
+grep -q 'batched-GET sweep' target/loadgen_batched.txt
+sed -n '/batched-GET sweep/,$p' target/loadgen_batched.txt | awk '
+    $1 == 16 { spd = $6; sub(/x$/, "", spd) }
+    END {
+        if (spd + 0 < 4.0) {
+            print "error: batch-16 queued speedup " spd "x below the 4x floor"
+            exit 1
+        }
+    }'
+
 echo "==> cluster scaling matrix + machine-readable bench results + merged trace"
 # Fixed-seed clients x devices matrix through the sharded cluster; the
 # same run emits target/BENCH_loadgen.json (the machine-readable
@@ -130,15 +156,18 @@ if command -v python3 > /dev/null; then
 import json
 with open("target/BENCH_loadgen.json") as f:
     doc = json.load(f)
-keys = ("schema", "seed", "config", "points", "parallel_sweep", "cache_sweep", "cluster_matrix")
+keys = ("schema", "seed", "config", "points", "parallel_sweep", "cache_sweep",
+        "cluster_matrix", "batched_sweep")
 missing = [k for k in keys if k not in doc]
 assert not missing, f"BENCH_loadgen.json missing keys: {missing}"
-assert doc["schema"] == "nkv-bench-loadgen/2", doc["schema"]
+assert doc["schema"] == "nkv-bench-loadgen/3", doc["schema"]
 assert doc["seed"] == 42, doc["seed"]
 assert doc["cluster_matrix"], "cluster_matrix must not be empty with --devices"
+assert doc["batched_sweep"] == [], "batched_sweep must be empty without --batch"
 EOF
 else
-    for key in schema seed config points parallel_sweep cache_sweep cluster_matrix; do
+    for key in schema seed config points parallel_sweep cache_sweep cluster_matrix \
+        batched_sweep; do
         grep -q "\"$key\"" target/BENCH_loadgen.json
     done
 fi
@@ -162,20 +191,33 @@ echo "==> fleet profile emits BENCH_profile.json (perf-journal snapshot)"
     --json target/BENCH_profile.json > target/profile_fleet.txt
 grep -q 'fleet profile (4 hash-sharded devices)' target/profile_fleet.txt
 grep -q 'cluster stats: 4 shards' target/profile_fleet.txt
+# The batched-GET config-tax table (before/after) must render.
+grep -q 'batched GET (key-list descriptors' target/profile_fleet.txt
+grep -q 'key lists cut the config tax' target/profile_fleet.txt
 if command -v python3 > /dev/null; then
     python3 - << 'EOF'
 import json
 with open("target/BENCH_profile.json") as f:
     doc = json.load(f)
-keys = ("schema", "seed", "config", "config_tax_ratio", "flash_occupancy",
-        "cache_hit_rate", "cluster_scaling", "cluster")
+keys = ("schema", "seed", "config", "config_tax_ratio", "config_tax_batched",
+        "get_us_unbatched", "get_us_batched", "batched_get_speedup",
+        "flash_occupancy", "cache_hit_rate", "cluster_scaling", "cluster")
 missing = [k for k in keys if k not in doc]
 assert not missing, f"BENCH_profile.json missing keys: {missing}"
-assert doc["schema"] == "nkv-bench-profile/1", doc["schema"]
+assert doc["schema"] == "nkv-bench-profile/2", doc["schema"]
 assert len(doc["cluster"]["shards"]) == 4, "fleet snapshot must carry 4 shard rows"
+# Hard acceptance gates for the batched PE invocation (DESIGN.md §15):
+# key lists must cut the per-key config tax at least 5x, and serial
+# per-key device time must be >= 5x faster at batch 16.
+tax, batched = doc["config_tax_ratio"], doc["config_tax_batched"]
+assert batched <= tax / 5, (
+    f"batched config tax {batched:.2f}x not <= 1/5 of unbatched {tax:.2f}x")
+assert doc["batched_get_speedup"] >= 5.0, (
+    f"batched GET speedup {doc['batched_get_speedup']:.2f}x below the 5x acceptance floor")
 EOF
 else
-    for key in schema seed config_tax_ratio flash_occupancy cache_hit_rate \
+    for key in schema seed config_tax_ratio config_tax_batched get_us_unbatched \
+        get_us_batched batched_get_speedup flash_occupancy cache_hit_rate \
         cluster_scaling cluster; do
         grep -q "\"$key\"" target/BENCH_profile.json
     done
@@ -214,10 +256,16 @@ for row, base in zip(new["points"], ref["points"]):
         f"{row['ops_per_sec']:.0f} ops/s < {floor:.0f}")
 
 refp, newp = load("BENCH_profile.json"), load("target/BENCH_profile.json")
-for key in ("cluster_scaling", "flash_occupancy", "cache_hit_rate"):
+for key in ("cluster_scaling", "flash_occupancy", "cache_hit_rate", "batched_get_speedup"):
     floor = (1 - TOL) * refp[key]
     assert newp[key] >= floor, (
         f"{key} dropped: {newp[key]:.4f} < {floor:.4f} (committed {refp[key]:.4f})")
+# Lower is better for the batched config tax: regressing means creeping
+# back toward the unbatched 45x.
+ceil = (1 + TOL) * refp["config_tax_batched"]
+assert newp["config_tax_batched"] <= ceil, (
+    f"config_tax_batched rose: {newp['config_tax_batched']:.3f}x > {ceil:.3f}x "
+    f"(committed {refp['config_tax_batched']:.3f}x)")
 print("perf gate: all metrics within 15% of the committed baselines")
 EOF
 else
@@ -236,6 +284,15 @@ if ./target/release/repro loadgen --devices 0 > /dev/null 2>&1; then
     echo "error: --devices 0 must exit nonzero" >&2
     exit 1
 fi
+
+echo "==> repro CLI rejects bad --batch values"
+# A batch must fit one key-list DMA page: 1 ..= 510 keys.
+for bad in 0 banana 511; do
+    if ./target/release/repro loadgen --batch "$bad" > /dev/null 2>&1; then
+        echo "error: --batch $bad must exit nonzero" >&2
+        exit 1
+    fi
+done
 
 echo "==> repro CLI trace/json guard rails"
 # --trace to an unwritable path fails up front (before simulation time).

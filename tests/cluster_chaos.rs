@@ -276,7 +276,8 @@ fn single_device_cluster_is_byte_identical_to_a_standalone_db() {
                 .unwrap();
             assert_eq!((agg.value, agg.any, agg.sim_ns), (solo_value, solo_any, solo_ns), "{ctx}");
 
-            // The queued engine: same scripts, same report.
+            // The queued engine: same scripts, same report — on the
+            // legacy path and through the auto-batching fold alike.
             let scripts: Vec<ClientScript> = (0..3u64)
                 .map(|c| ClientScript {
                     ops: (0..20u64)
@@ -288,19 +289,70 @@ fn single_device_cluster_is_byte_identical_to_a_standalone_db() {
                         .collect(),
                 })
                 .collect();
-            let qcfg = QueueRunConfig::default();
-            let solo_report = solo.run_queued("papers", &scripts, &qcfg).unwrap();
-            let report = cluster.run_queued("papers", &scripts, &qcfg).unwrap();
-            assert_eq!(report.logical_ops, 60, "{ctx}");
-            assert_eq!(report.completions, solo_report.ops(), "{ctx}: queued completions");
-            assert_eq!(
-                report.span_ns,
-                solo_report.finished_ns - solo_report.started_ns,
-                "{ctx}: queued span"
-            );
-            assert_eq!(report.latency, solo_report.latency, "{ctx}: queued latency histogram");
-            assert_eq!(report.shard_spans, vec![report.span_ns], "{ctx}");
+            for batch in [1u32, 8] {
+                let qcfg = QueueRunConfig { batch, ..QueueRunConfig::default() };
+                let solo_report = solo.run_queued("papers", &scripts, &qcfg).unwrap();
+                let report = cluster.run_queued("papers", &scripts, &qcfg).unwrap();
+                assert_eq!(report.logical_ops, 60, "{ctx} batch={batch}");
+                assert_eq!(
+                    report.completions,
+                    solo_report.ops(),
+                    "{ctx} batch={batch}: queued completions"
+                );
+                assert_eq!(
+                    report.span_ns,
+                    solo_report.finished_ns - solo_report.started_ns,
+                    "{ctx} batch={batch}: queued span"
+                );
+                assert_eq!(
+                    report.latency, solo_report.latency,
+                    "{ctx} batch={batch}: queued latency histogram"
+                );
+                assert_eq!(report.shard_spans, vec![report.span_ns], "{ctx} batch={batch}");
+            }
         }
+    }
+}
+
+/// Batched queued runs split per shard and re-merge to the same bytes
+/// as the unbatched fan-out: the router partitions each client's script
+/// by key ownership, every shard folds its own GET runs, and the merged
+/// result — completion counts during the run, and the full cross-shard
+/// byte image after it — is identical to batch 1.
+#[test]
+fn batched_queued_runs_split_per_shard_and_rejoin_the_unbatched_bytes() {
+    let records = dataset(300);
+    let scripts: Vec<ClientScript> = (0..3u64)
+        .map(|c| ClientScript {
+            ops: (0..24u64)
+                .map(|i| match (c + i) % 8 {
+                    0 => QueuedOp::Put { record: record_for(600 + c * 24 + i) },
+                    _ => QueuedOp::Get { key: 1 + (c * 41 + i * 13) % 300 },
+                })
+                .collect(),
+        })
+        .collect();
+    let run = |batch: u32| {
+        let mut cluster = build_cluster(4, ReadPolicy::Available, 4, 0, &records);
+        let report = cluster
+            .run_queued("papers", &scripts, &QueueRunConfig { batch, ..QueueRunConfig::default() })
+            .unwrap();
+        let scan = cluster.scan("papers", &all_rules(), Backend::Software).unwrap();
+        assert!(scan.missing_shards.is_empty(), "batch {batch}");
+        (report, scan)
+    };
+    let (base, base_scan) = run(1);
+    assert_eq!(base.logical_ops, 72);
+    assert_eq!(base.completions, 72, "every op routes to exactly one shard");
+    for batch in [2u32, 16] {
+        let (b, scan) = run(batch);
+        assert_eq!(b.logical_ops, base.logical_ops, "batch {batch}");
+        assert_eq!(b.completions, base.completions, "batch {batch}: merged completion count");
+        assert_eq!(scan.count, base_scan.count, "batch {batch}: post-run record count");
+        assert_eq!(
+            scan.records, base_scan.records,
+            "batch {batch}: post-run cross-shard bytes diverged from the unbatched fan-out"
+        );
     }
 }
 
