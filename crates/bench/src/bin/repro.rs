@@ -5,10 +5,11 @@
 //! cargo run --release -p bench --bin repro -- fig7a fig7b table1   # any subset, in order
 //! cargo run --release -p bench --bin repro -- loadgen [--clients 1,4,16] \
 //!     [--depth D] [--ops N] [--seed S] [--scale F] [--cache-mb M] \
-//!     [--devices 1,2,4] [--json out.json] [--json-force] [--trace t.json]
+//!     [--devices 1,2,4] [--batch B] [--qos] [--json out.json] \
+//!     [--json-force] [--trace t.json]
 //! cargo run --release -p bench --bin repro -- profile [--devices 4] \
 //!     [--json BENCH_profile.json] [--trace t.json]
-//! cargo run --release -p bench --bin repro -- explain refs year>=2010 --backend hybrid
+//! cargo run --release -p bench --bin repro -- explain refs year>=2010 --backend adaptive
 //! ```
 //!
 //! Simulated device times come from the calibrated `cosmos-sim` model;
@@ -90,13 +91,15 @@ fn main() {
                     .collect();
             }
             "--batch" => {
+                // No upper bound: folds beyond one key-list DMA page
+                // (510 keys) split into multiple descriptors.
                 lg.batch = match value("--batch").parse::<u32>() {
-                    Ok(n) if n >= 1 && n as usize <= cosmos_sim::KeyListDescriptor::MAX_KEYS => n,
-                    _ => die(&format!(
-                        "--batch needs an integer in 1..={} (one key-list DMA page)",
-                        cosmos_sim::KeyListDescriptor::MAX_KEYS
-                    )),
+                    Ok(n) if n >= 1 => n,
+                    _ => die("--batch needs an integer >= 1"),
                 };
+            }
+            "--qos" => {
+                lg.qos = true;
             }
             "--json" => {
                 json_path = Some(value("--json").to_string());
@@ -210,12 +213,14 @@ fn die(msg: &str) -> ! {
         "usage: repro [all|fig7a|fig7b|table1|fig8|fig9|ablations|profile|loadgen]\n\
          \x20            [--scale F | --full]\n\
          \x20            [--clients n[,n...]] [--depth D] [--ops N] [--seed S]\n\
-         \x20            [--cache-mb M] [--devices n[,n...]] [--batch B]\n\
+         \x20            [--cache-mb M] [--devices n[,n...]] [--batch B] [--qos]\n\
          \x20            [--json PATH] [--json-force] [--trace PATH]  (loadgen, profile)\n\
          \x20            loadgen --devices ... --trace t.json writes the merged cluster\n\
-         \x20            trace; profile --devices N adds the fleet ClusterStats fold\n\
-         \x20      repro explain <table> <query...> [--backend sw|hw|hybrid] [--cache-mb M]\n\
-         \x20            e.g. explain refs year>=2010 --backend hw; explain papers get 42"
+         \x20            trace; profile --devices N adds the fleet ClusterStats fold;\n\
+         \x20            loadgen --qos adds the mixed-priority FIFO-vs-QoS sweep\n\
+         \x20      repro explain <table> <query...> [--backend sw|hw|hybrid|adaptive]\n\
+         \x20            [--cache-mb M]\n\
+         \x20            e.g. explain refs year>=2010 --backend adaptive; explain papers get 42"
     );
     std::process::exit(2)
 }

@@ -114,17 +114,25 @@ pub fn explain(
     cache_mb: usize,
 ) -> Result<String, String> {
     let backend = match backend {
-        "sw" => Backend::Software,
-        "hw" => Backend::Hardware,
-        "hybrid" => Backend::Hybrid,
-        other => return Err(format!("unknown backend `{other}` (want sw, hw or hybrid)")),
+        "sw" => Some(Backend::Software),
+        "hw" => Some(Backend::Hardware),
+        "hybrid" => Some(Backend::Hybrid),
+        // Cost-based tier selection: the plan renders with the chosen
+        // tier plus the per-tier estimates that drove the choice.
+        "adaptive" => None,
+        other => {
+            return Err(format!("unknown backend `{other}` (want sw, hw, hybrid or adaptive)"))
+        }
     };
     if table != "papers" && table != "refs" {
         return Err(format!("unknown table `{table}` (the explain device has: papers, refs)"));
     }
     let op = parse_query(table, query)?;
     let db = explain_db(cache_mb);
-    db.explain(table, &op, backend).map_err(|e| e.to_string())
+    match backend {
+        Some(b) => db.explain(table, &op, b).map_err(|e| e.to_string()),
+        None => db.explain_adaptive(table, &op).map_err(|e| e.to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +202,25 @@ mod tests {
             cached.replace("  cache=device-DRAM segmented-LRU, budget 8192 KiB\n", ""),
             plain
         );
+    }
+
+    #[test]
+    fn snapshot_adaptive_renders_tier_and_costs() {
+        // The explain device's tables are empty (capabilities only), so
+        // the cost model sees zero flash blocks and keeps the scan on
+        // the ARM path — rendered with the per-tier estimates.
+        let text = run("refs", &["year>=2010"], "adaptive");
+        assert!(text.starts_with("PLAN SCAN ON refs (backend: software)\n"), "{text}");
+        assert!(text.contains("  cost: software "), "{text}");
+        assert!(text.contains(", hardware "), "{text}");
+        assert!(text.contains(", hybrid "), "{text}");
+        assert!(
+            text.ends_with("  adaptive: chose software (scan cold after 0 sightings)\n"),
+            "{text}"
+        );
+        // A GET prices all three tiers too, and stays typed on errors.
+        let get = run("papers", &["get", "42"], "adaptive");
+        assert!(get.contains("adaptive: chose "), "{get}");
     }
 
     #[test]

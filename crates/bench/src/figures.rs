@@ -513,6 +513,7 @@ pub fn profile_bench(scale: f64, seed: u64, devices: usize) -> ProfileBench {
         cache_mb: 0,
         devices: vec![1, devices.max(2)],
         batch: 1,
+        qos: false,
     });
     let cluster_scaling = matrix[1].ops_per_sec / matrix[0].ops_per_sec;
 

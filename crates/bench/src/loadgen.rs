@@ -21,7 +21,7 @@ use ndp_pe::oracle::FilterRule;
 use ndp_pe::template::PeVariant;
 use ndp_workload::spec::{paper_lanes, ref_lanes};
 use ndp_workload::{PaperGen, PubGraphConfig, SplitMix64};
-use nkv::queue::{ClientScript, QueueRunConfig, QueuedOp};
+use nkv::queue::{ClientScript, Priority, QueueRunConfig, QueuedOp};
 use nkv::{ClusterConfig, ExecMode, LatencyHistogram, NkvCluster};
 
 /// Parameters of one loadgen sweep. `PartialEq` backs the `repro`
@@ -52,6 +52,11 @@ pub struct LoadgenConfig {
     /// queued run on the legacy per-key path, so the smoke table stays
     /// byte-identical to the pre-batching output.
     pub batch: u32,
+    /// Run the mixed-priority QoS sweep (bulk scan flood vs
+    /// latency-sensitive GETs, FIFO baseline vs priority dispatch).
+    /// `false` (the default) skips the sweep entirely, so the smoke
+    /// table stays byte-identical to the pre-QoS output.
+    pub qos: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -65,6 +70,7 @@ impl Default for LoadgenConfig {
             cache_mb: 0,
             devices: Vec::new(),
             batch: 1,
+            qos: false,
         }
     }
 }
@@ -136,6 +142,27 @@ pub struct BatchedSweepPoint {
     pub speedup: f64,
 }
 
+/// One row of the mixed-priority QoS sweep: the same seeded workload
+/// (a bulk scan flood plus one latency-sensitive GET client) run once
+/// with every client at [`Priority::Normal`] (the FIFO baseline) and
+/// once with QoS classes attached (`fifo` vs `priority` rows).
+#[derive(Debug, Clone)]
+pub struct QosSweepPoint {
+    /// Dispatch mode: `"fifo"` (all-Normal baseline) or `"priority"`.
+    pub mode: &'static str,
+    /// Commands completed (identical across rows — asserted).
+    pub ops: u64,
+    /// Simulated wall time of the run, seconds.
+    pub span_s: f64,
+    /// Sustained throughput over the run.
+    pub ops_per_sec: f64,
+    /// p99 submit→complete latency of the GET client, milliseconds —
+    /// the number the priority heap exists to shrink.
+    pub get_p99_ms: f64,
+    /// `LatencyHistogram::tail_summary` across all commands.
+    pub latency: String,
+}
+
 /// One cell of the clients x devices cluster matrix: the same seeded
 /// client scripts pushed through an [`NkvCluster`] of `devices`
 /// hash-sharded Cosmos+ instances.
@@ -169,6 +196,8 @@ pub struct LoadgenFigure {
     pub cluster: Vec<ClusterMatrixPoint>,
     /// Batched-GET sweep; empty unless `cfg.batch > 1`.
     pub batched: Vec<BatchedSweepPoint>,
+    /// Mixed-priority QoS sweep; empty unless `cfg.qos` is set.
+    pub qos: Vec<QosSweepPoint>,
 }
 
 /// Build the seeded script for one client: ~90 % GET, ~8 % PUT
@@ -228,7 +257,8 @@ pub fn loadgen_traced(cfg: &LoadgenConfig, trace: bool) -> (LoadgenFigure, Optio
     let cache = if cfg.cache_mb > 0 { cache_sweep(cfg.scale, cfg.cache_mb) } else { Vec::new() };
     let (cluster, trace_json) = cluster_matrix_traced(cfg, trace);
     let batched = if cfg.batch > 1 { batched_get_sweep(cfg) } else { Vec::new() };
-    (LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster, batched }, trace_json)
+    let qos = if cfg.qos { qos_sweep(cfg) } else { Vec::new() };
+    (LoadgenFigure { cfg: cfg.clone(), points, sweep, cache, cluster, batched, qos }, trace_json)
 }
 
 /// Run the clients x devices cluster matrix: for every `(clients,
@@ -358,6 +388,86 @@ pub fn batched_get_sweep(cfg: &LoadgenConfig) -> Vec<BatchedSweepPoint> {
     let t1 = rows.first().map(|r| r.ops_per_sec);
     for r in &mut rows {
         r.speedup = t1.map_or(0.0, |t| r.ops_per_sec / t);
+    }
+    rows
+}
+
+/// Bulk clients flooding whole-table scans in the QoS sweep.
+const QOS_SWEEP_BULK_CLIENTS: u32 = 3;
+/// Whole-table scans each bulk client issues.
+const QOS_SWEEP_SCANS: u32 = 3;
+/// Point lookups the latency-sensitive client issues: one window's
+/// worth, all submitted at t=0 alongside the scan flood — the instant
+/// where the priority heap actually re-orders dispatch (refilled
+/// commands submit at distinct times and never tie).
+const QOS_SWEEP_GETS: u32 = 4;
+/// Per-client window for the QoS sweep: small enough that the GETs
+/// genuinely contend with the scan flood for dispatch slots.
+const QOS_SWEEP_DEPTH: u32 = 4;
+
+/// Build the QoS-sweep scripts: [`QOS_SWEEP_BULK_CLIENTS`] clients each
+/// issuing [`QOS_SWEEP_SCANS`] whole-table scans, plus one client of
+/// [`QOS_SWEEP_GETS`] seeded point lookups. `prioritized` attaches the
+/// QoS classes (scans [`Priority::Bulk`], GETs [`Priority::High`]);
+/// off, every client stays [`Priority::Normal`] — the FIFO baseline.
+fn qos_scripts(cfg: &PubGraphConfig, seed: u64, prioritized: bool) -> Vec<ClientScript> {
+    let mut scripts = Vec::with_capacity(QOS_SWEEP_BULK_CLIENTS as usize + 1);
+    for _ in 0..QOS_SWEEP_BULK_CLIENTS {
+        let mut s = ClientScript::default();
+        for _ in 0..QOS_SWEEP_SCANS {
+            s.ops.push(QueuedOp::Scan {
+                rules: vec![FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 0 }],
+            });
+        }
+        if prioritized {
+            s.priority = Priority::Bulk;
+        }
+        scripts.push(s);
+    }
+    let mut gets = get_script(cfg, seed, QOS_SWEEP_BULK_CLIENTS, QOS_SWEEP_GETS);
+    if prioritized {
+        gets.priority = Priority::High;
+    }
+    scripts.push(gets);
+    scripts
+}
+
+/// Run the mixed-priority QoS sweep: the same seeded scan-flood + GET
+/// workload on a freshly built device per row, once FIFO (all-Normal)
+/// and once with priority classes. Priorities must never change *what*
+/// a command returns — the rows are asserted record-identical — only
+/// *when* the latency-sensitive GETs get dispatched, which the GET-p99
+/// column makes visible (and `scripts/check.sh` gates on).
+pub fn qos_sweep(cfg: &LoadgenConfig) -> Vec<QosSweepPoint> {
+    let mut rows = Vec::with_capacity(2);
+    let mut baseline: Option<Vec<(u32, u32, Vec<u8>)>> = None;
+    for (mode, prioritized) in [("fifo", false), ("priority", true)] {
+        let mut ds = build_db(cfg.scale, DbKind::Ours);
+        let scripts = qos_scripts(&ds.cfg, cfg.seed, prioritized);
+        let run_cfg = QueueRunConfig { depth: QOS_SWEEP_DEPTH, ..QueueRunConfig::default() };
+        let report = ds.db.run_queued("papers", &scripts, &run_cfg).expect("queued run succeeds");
+        let mut records: Vec<(u32, u32, Vec<u8>)> =
+            report.completions.iter().map(|c| (c.client, c.seq, c.payload.clone())).collect();
+        records.sort_unstable();
+        match &baseline {
+            None => baseline = Some(records),
+            Some(base) => assert_eq!(
+                *base, records,
+                "priority dispatch must return the FIFO records byte-for-byte"
+            ),
+        }
+        let mut get_hist = LatencyHistogram::new();
+        for c in report.completions.iter().filter(|c| c.client == QOS_SWEEP_BULK_CLIENTS) {
+            get_hist.record(c.complete_ns - c.submit_ns);
+        }
+        rows.push(QosSweepPoint {
+            mode,
+            ops: report.ops(),
+            span_s: ns_to_secs(report.finished_ns - report.started_ns),
+            ops_per_sec: report.throughput_ops_per_sec(),
+            get_p99_ms: get_hist.quantile(0.99) as f64 / 1e6,
+            latency: report.latency.tail_summary(),
+        });
     }
     rows
 }
@@ -515,6 +625,26 @@ pub fn render(fig: &LoadgenFigure) -> String {
             );
         }
     }
+    if !fig.qos.is_empty() {
+        let _ = writeln!(
+            out,
+            "  QoS sweep ({QOS_SWEEP_BULK_CLIENTS} bulk scan clients + \
+             {QOS_SWEEP_GETS} high-priority GETs, depth {QOS_SWEEP_DEPTH}):"
+        );
+        let _ = writeln!(out, "      mode      ops   span(ms)      ops/s  get-p99(ms)  latency");
+        for r in &fig.qos {
+            let _ = writeln!(
+                out,
+                "  {:>8} {:8} {:10.3} {:10.1} {:12.3}  {}",
+                r.mode,
+                r.ops,
+                r.span_s * 1e3,
+                r.ops_per_sec,
+                r.get_p99_ms,
+                r.latency
+            );
+        }
+    }
     if !fig.cluster.is_empty() {
         let _ = writeln!(out, "  cluster matrix (clients x devices, hash-sharded):");
         let _ = writeln!(out, "  clients  devices      ops   span(ms)      ops/s  latency");
@@ -540,14 +670,15 @@ pub fn render(fig: &LoadgenFigure) -> String {
 /// always present (empty sweeps are empty arrays, not missing keys).
 /// Schema v2 added the top-level `seed` stamp every `BENCH_*.json`
 /// carries; v3 added the `batch` config knob and the always-present
-/// `batched_sweep` section.
+/// `batched_sweep` section; v4 added the `qos` config knob and the
+/// always-present `qos_sweep` section.
 pub fn bench_json(fig: &LoadgenFigure) -> String {
     use std::fmt::Write as _;
     let join = |items: Vec<String>| items.join(", ");
     let c = &fig.cfg;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/3\",");
+    let _ = writeln!(out, "  \"schema\": \"nkv-bench-loadgen/4\",");
     let _ = writeln!(out, "  \"seed\": {},", c.seed);
     let _ = writeln!(out, "  \"config\": {{");
     let _ = writeln!(out, "    \"scale\": {},", json_num(c.scale));
@@ -565,7 +696,8 @@ pub fn bench_json(fig: &LoadgenFigure) -> String {
         "    \"devices\": [{}],",
         join(c.devices.iter().map(usize::to_string).collect())
     );
-    let _ = writeln!(out, "    \"batch\": {}", c.batch);
+    let _ = writeln!(out, "    \"batch\": {},", c.batch);
+    let _ = writeln!(out, "    \"qos\": {}", c.qos);
     let _ = writeln!(out, "  }},");
     let points = fig
         .points
@@ -660,9 +792,30 @@ pub fn bench_json(fig: &LoadgenFigure) -> String {
         })
         .collect::<Vec<_>>();
     if batched.is_empty() {
-        let _ = writeln!(out, "  \"batched_sweep\": []");
+        let _ = writeln!(out, "  \"batched_sweep\": [],");
     } else {
-        let _ = writeln!(out, "  \"batched_sweep\": [\n{}\n  ]", batched.join(",\n"));
+        let _ = writeln!(out, "  \"batched_sweep\": [\n{}\n  ],", batched.join(",\n"));
+    }
+    let qos = fig
+        .qos
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": {}, \"ops\": {}, \"span_ms\": {}, \"ops_per_sec\": {}, \
+                 \"get_p99_ms\": {}, \"latency\": {}}}",
+                json_str(r.mode),
+                r.ops,
+                json_num(r.span_s * 1e3),
+                json_num(r.ops_per_sec),
+                json_num(r.get_p99_ms),
+                json_str(&r.latency)
+            )
+        })
+        .collect::<Vec<_>>();
+    if qos.is_empty() {
+        let _ = writeln!(out, "  \"qos_sweep\": []");
+    } else {
+        let _ = writeln!(out, "  \"qos_sweep\": [\n{}\n  ]", qos.join(",\n"));
     }
     let _ = writeln!(out, "}}");
     out
@@ -710,6 +863,7 @@ mod tests {
             cache_mb: 0,
             devices: Vec::new(),
             batch: 1,
+            qos: false,
         });
         let t: Vec<f64> = fig.points.iter().map(|p| p.ops_per_sec).collect();
         assert!(t[1] > 1.5 * t[0], "8 clients should clearly out-run 1 client: {t:?}");
@@ -728,6 +882,7 @@ mod tests {
             cache_mb: 0,
             devices: Vec::new(),
             batch: 1,
+            qos: false,
         };
         let a = render(&loadgen(&cfg));
         let b = render(&loadgen(&cfg));
@@ -748,6 +903,34 @@ mod tests {
             !a.contains("batched-GET sweep"),
             "batch=1 must leave the table byte-identical to the pre-batching output: {a}"
         );
+        assert!(
+            !a.contains("QoS sweep"),
+            "qos=false must leave the table byte-identical to the pre-QoS output: {a}"
+        );
+    }
+
+    #[test]
+    fn qos_sweep_shrinks_the_get_tail_without_changing_records() {
+        let rows = qos_sweep(&LoadgenConfig { scale: SCALE, seed: 42, ..LoadgenConfig::default() });
+        assert_eq!(rows.len(), 2);
+        let fifo = &rows[0];
+        let qos = &rows[1];
+        assert_eq!(fifo.mode, "fifo");
+        assert_eq!(qos.mode, "priority");
+        // Record equality across modes is asserted inside qos_sweep;
+        // here we gate the latency win the priority heap exists for.
+        assert_eq!(fifo.ops, qos.ops, "both modes complete the same commands");
+        assert!(
+            qos.get_p99_ms < fifo.get_p99_ms,
+            "high-priority GETs must beat the FIFO tail: {:.3} ms vs {:.3} ms",
+            qos.get_p99_ms,
+            fifo.get_p99_ms
+        );
+        // Seeded determinism: rerunning reproduces the rows bit for bit.
+        let again =
+            qos_sweep(&LoadgenConfig { scale: SCALE, seed: 42, ..LoadgenConfig::default() });
+        assert_eq!(rows[1].get_p99_ms, again[1].get_p99_ms);
+        assert_eq!(rows[1].latency, again[1].latency);
     }
 
     #[test]
@@ -761,6 +944,7 @@ mod tests {
             cache_mb: 0,
             devices: vec![1, 4],
             batch: 1,
+            qos: false,
         };
         let rows = cluster_matrix(&cfg);
         assert_eq!(rows.len(), 2);
@@ -787,6 +971,7 @@ mod tests {
             cache_mb: 0,
             devices: vec![1, 2],
             batch: 1,
+            qos: false,
         };
         let (rows, trace) = cluster_matrix_traced(&cfg, true);
         // Observability is timing-invisible: the traced rows are the
@@ -813,6 +998,7 @@ mod tests {
             cache_mb: 0,
             devices: vec![1, 2],
             batch: 1,
+            qos: false,
         };
         let json = bench_json(&loadgen(&cfg));
         for key in [
@@ -824,11 +1010,13 @@ mod tests {
             "\"cache_sweep\"",
             "\"cluster_matrix\"",
             "\"batched_sweep\"",
+            "\"qos_sweep\"",
         ] {
             assert!(json.contains(key), "missing {key}: {json}");
         }
-        assert!(json.contains("\"nkv-bench-loadgen/3\""), "{json}");
+        assert!(json.contains("\"nkv-bench-loadgen/4\""), "{json}");
         assert!(json.contains("\"batched_sweep\": []"), "batch off is an empty array: {json}");
+        assert!(json.contains("\"qos_sweep\": []"), "qos off is an empty array: {json}");
         assert!(json.contains("\"seed\": 7,"), "{json}");
         assert!(json.contains("\"devices\": [1, 2]"), "{json}");
         assert!(json.contains("\"cache_sweep\": []"), "cache off is an empty array: {json}");

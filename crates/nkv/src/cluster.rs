@@ -1189,6 +1189,67 @@ impl NkvCluster {
         self.fanout_scan(table, &op, backend, None)
     }
 
+    /// Cluster SCAN with cost-based tier selection: every serving shard
+    /// prices the scan against its *own* shape (shard data volumes and
+    /// cache heat diverge under skew) and runs whichever tier its model
+    /// picks, so one fan-out can mix software and hardware shards.
+    /// Returns the merged scan plus each shard's chosen tier, in shard
+    /// order. Results are byte-identical to any forced-tier fan-out.
+    pub fn scan_adaptive(
+        &mut self,
+        table: &str,
+        rules: &[FilterRule],
+    ) -> NkvResult<(ClusterScan, Vec<(usize, Backend)>)> {
+        self.probe_quarantined();
+        let op = LogicalOp::Scan { rules: rules.to_vec() };
+        let router = self.cfg.router;
+        let mut records = Vec::new();
+        let mut count = 0;
+        let mut missing = Vec::new();
+        let mut tiers: Vec<(usize, Backend)> = Vec::new();
+        let mut waits: Vec<(usize, SimNs)> = Vec::new();
+        let mut sim_ns: SimNs = 0;
+        for shard in self.participants(None) {
+            if !self.shards[shard].fsm.state.serving() {
+                self.unavailable(shard)?;
+                missing.push(shard);
+                continue;
+            }
+            let res = shard_call(
+                &mut self.shards[shard],
+                &router,
+                &mut self.router_retries,
+                &mut self.router_backoff_ns,
+                |db| match db.execute_adaptive(table, &op)? {
+                    (PlanOutcome::Records { records, count, report }, cost) => {
+                        Ok(((records, count, cost.chosen), report.sim_ns))
+                    }
+                    _ => Err(NkvError::Config("scan lowered to a non-scan plan".into())),
+                },
+            );
+            match res {
+                Ok(((shard_records, shard_count, chosen), ns)) => {
+                    self.shards[shard].fsm.on_success();
+                    records.extend_from_slice(&shard_records);
+                    count += shard_count;
+                    tiers.push((shard, chosen));
+                    waits.push((shard, ns));
+                    sim_ns = sim_ns.max(ns);
+                }
+                Err(ShardCallError::Logic(e)) => return Err(e),
+                Err(ShardCallError::Fault(reason)) => {
+                    self.shards[shard].fsm.on_error();
+                    if matches!(self.cfg.read_policy, ReadPolicy::Strict) {
+                        return Err(NkvError::ShardUnavailable { shard, reason });
+                    }
+                    missing.push(shard);
+                }
+            }
+        }
+        self.record_router_fanout(&waits);
+        Ok((ClusterScan { records, count, missing_shards: missing, sim_ns }, tiers))
+    }
+
     /// Cluster RANGE_SCAN (`lo <= key < hi`). Under range sharding,
     /// shards whose key interval cannot intersect the range are pruned
     /// (provably empty, not "missing").
@@ -1293,6 +1354,10 @@ impl NkvCluster {
         let mut parts: Vec<Vec<ClientScript>> =
             vec![vec![ClientScript::default(); scripts.len()]; n];
         for (client, script) in scripts.iter().enumerate() {
+            // The QoS class travels with the client onto every shard.
+            for part in parts.iter_mut() {
+                part[client].priority = script.priority;
+            }
             for qop in &script.ops {
                 match qop {
                     QueuedOp::Get { key } => {

@@ -6,6 +6,7 @@
 //! showcase of the multi-stage filtering extension). Every operation
 //! advances the device's simulated clock and returns a [`SimReport`].
 
+use crate::cost::{AdaptState, CostInputs, CostReport};
 use crate::engine::ParallelScanStats;
 use crate::error::{NkvError, NkvResult};
 use crate::exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport, TableExec};
@@ -80,6 +81,9 @@ pub(crate) struct Table {
     pub(crate) lsm: LsmTree,
     pub(crate) exec: TableExec,
     pub(crate) unique_keys: bool,
+    /// Adaptive-planner feedback: per-op-class sighting counters and
+    /// observed-latency EWMAs (see [`crate::cost`]).
+    pub(crate) adapt: AdaptState,
 }
 
 /// Summary of a SCAN (results plus the simulation report).
@@ -432,6 +436,7 @@ impl NkvDb {
         let full_block_payload = (cfg.pe.chunk_bytes / record_bytes as u32) * record_bytes as u32;
         let table = Table {
             unique_keys: cfg.unique_keys,
+            adapt: AdaptState::default(),
             lsm: LsmTree::new(
                 name,
                 record_bytes,
@@ -836,6 +841,116 @@ impl NkvDb {
                 Ok(PlanOutcome::Aggregate { value, any, report })
             }
         }
+    }
+
+    /// Capture the table-shape inputs the adaptive cost model prices
+    /// against: flash-resident blocks/bytes, memtable occupancy and the
+    /// current DRAM-cache hit rate (0.0 while the cache is off).
+    fn cost_inputs(&self, table: &str, op: &LogicalOp) -> NkvResult<CostInputs> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let mut blocks = 0u64;
+        let mut bytes = 0u64;
+        for sst in t.lsm.all_ssts() {
+            blocks += sst.blocks.len() as u64;
+            bytes += sst.blocks.iter().map(|b| u64::from(b.bytes)).sum::<u64>();
+        }
+        let batch_keys = match op {
+            LogicalOp::MultiGet { keys } => keys.len() as u64,
+            _ => 1,
+        };
+        Ok(CostInputs {
+            flash_blocks: blocks,
+            flash_bytes: bytes,
+            memtable_records: t.lsm.memtable().len() as u64,
+            record_bytes: t.lsm.record_bytes() as u64,
+            cache_hit_rate: self.platform.cache_stats().map_or(0.0, |s| s.hit_rate()),
+            batch_keys,
+        })
+    }
+
+    /// Cost-based tier selection: price `op` on every tier that lowers
+    /// (Software → Hardware → Hybrid, strict-min cost, ties to the
+    /// earlier candidate) using the table's shape, the DRAM-cache hit
+    /// rate and the table's adaptive feedback state. Pure — executing
+    /// nothing, recording nothing — so `EXPLAIN` and tests can consult
+    /// it freely. Results are tier-invariant by construction, so the
+    /// choice only ever changes simulated time, never bytes.
+    pub fn choose_backend(&self, table: &str, op: &LogicalOp) -> NkvResult<(Backend, CostReport)> {
+        let t = self.tables.get(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        let caps = t.exec.caps();
+        let inputs = self.cost_inputs(table, op)?;
+        let report = crate::cost::choose(&t.adapt, op, inputs, |b| {
+            PhysicalPlan::lower(op, b, &caps, table).is_ok()
+        });
+        if report.tiers.iter().all(|tc| tc.cost_ns.is_none()) {
+            // Nothing lowers: surface the software tier's lowering error
+            // (tier-independent validation, e.g. an unknown lane).
+            PhysicalPlan::lower(op, Backend::Software, &caps, table)?;
+        }
+        Ok((report.chosen, report))
+    }
+
+    /// Plan and execute `op` on whichever tier
+    /// [`choose_backend`](Self::choose_backend) picks, then feed the
+    /// observed latency back into the table's adaptive state so repeated
+    /// shapes are re-costed (SW→HW promotion for hot flash-heavy scans).
+    pub fn execute_adaptive(
+        &mut self,
+        table: &str,
+        op: &LogicalOp,
+    ) -> NkvResult<(PlanOutcome, CostReport)> {
+        let (backend, report) = self.choose_backend(table, op)?;
+        let outcome = self.execute(table, op, backend)?;
+        let observed = outcome.report().sim_ns;
+        let t = self.tables.get_mut(table).ok_or_else(|| NkvError::UnknownTable(table.into()))?;
+        t.adapt.record(report.class, backend, observed);
+        Ok((outcome, report))
+    }
+
+    /// Adaptive SCAN: [`scan`](Self::scan) with the tier chosen by the
+    /// cost model. Returns the summary plus the decision record.
+    pub fn scan_adaptive(
+        &mut self,
+        table: &str,
+        rules: &[FilterRule],
+    ) -> NkvResult<(ScanSummary, CostReport)> {
+        let op = LogicalOp::Scan { rules: rules.to_vec() };
+        match self.execute_adaptive(table, &op)? {
+            (PlanOutcome::Records { records, count, report }, cost) => {
+                Ok((ScanSummary { records, count, report }, cost))
+            }
+            _ => Err(NkvError::Config(format!(
+                "adaptive scan of `{table}` lowered to a non-scan outcome"
+            ))),
+        }
+    }
+
+    /// Adaptive point lookup: [`get`](Self::get) with the tier chosen by
+    /// the cost model. The walk dominates either tier (Fig. 7(a): the
+    /// config tax eats the PE's advantage), so the pick follows the
+    /// record width — narrow records stream too slowly through the PE to
+    /// beat the ARM's fixed binary search.
+    pub fn get_adaptive(
+        &mut self,
+        table: &str,
+        key: u64,
+    ) -> NkvResult<(Option<Vec<u8>>, SimReport, CostReport)> {
+        match self.execute_adaptive(table, &LogicalOp::Get { key })? {
+            (PlanOutcome::Point { record, report }, cost) => Ok((record, report, cost)),
+            _ => Err(NkvError::Config(format!(
+                "adaptive get on `{table}` lowered to a non-point outcome"
+            ))),
+        }
+    }
+
+    /// `EXPLAIN` for the adaptive planner: the chosen tier's plan plus
+    /// the per-tier cost estimates and the promotion state that drove
+    /// the decision.
+    pub fn explain_adaptive(&self, table: &str, op: &LogicalOp) -> NkvResult<String> {
+        let (backend, report) = self.choose_backend(table, op)?;
+        let mut text = self.explain(table, op, backend)?;
+        text.push_str(&report.render());
+        Ok(text)
     }
 
     /// Change how many parallel PE job streams a table's hardware scans

@@ -815,7 +815,7 @@ pub(crate) fn run_scan(
                     let (t, data) = confirm_block_read(platform, exec, newer, bi, op_end)?;
                     report.shadow_confirm_reads += 1;
                     op_end = op_end.max(t);
-                    if search_block(&data, record_bytes, key).is_some() {
+                    if search_block(&data, record_bytes, key)?.is_some() {
                         keep[i] = false;
                         break;
                     }
@@ -1014,7 +1014,7 @@ pub(crate) fn run_get(
         report.bytes_scanned += data.len() as u64;
 
         let (found, done) = if plan.backend == Backend::Software {
-            let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+            let rec = search_block(&data, lsm.record_bytes(), key)?.map(<[u8]>::to_vec);
             let (_, done) = platform.arm.schedule(staged, timing::ARM_BLOCK_SEARCH_NS);
             (rec, done)
         } else {
@@ -1025,7 +1025,7 @@ pub(crate) fn run_get(
             let candidate = if pe_down { None } else { Some(0) };
             match claim_pe(platform, exec, candidate, true)? {
                 PeGrant::Sw { hung } => {
-                    let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+                    let rec = search_block(&data, lsm.record_bytes(), key)?.map(<[u8]>::to_vec);
                     let (_, done) = platform
                         .arm
                         .schedule(sw_resume_at(exec, staged, hung), timing::ARM_BLOCK_SEARCH_NS);
@@ -1164,7 +1164,7 @@ fn batched_key_walk(
         };
 
         let (found, done) = if backend == Backend::Software {
-            let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+            let rec = search_block(&data, lsm.record_bytes(), key)?.map(<[u8]>::to_vec);
             let (_, done) = platform.arm.schedule(staged, timing::ARM_BLOCK_SEARCH_NS);
             (rec, done)
         } else {
@@ -1172,7 +1172,7 @@ fn batched_key_walk(
             let candidate = if pe_down { None } else { Some(0) };
             match claim_pe(platform, exec, candidate, true)? {
                 PeGrant::Sw { hung } => {
-                    let rec = search_block(&data, lsm.record_bytes(), key).map(<[u8]>::to_vec);
+                    let rec = search_block(&data, lsm.record_bytes(), key)?.map(<[u8]>::to_vec);
                     let (_, done) = platform
                         .arm
                         .schedule(sw_resume_at(exec, staged, hung), timing::ARM_BLOCK_SEARCH_NS);

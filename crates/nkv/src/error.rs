@@ -30,6 +30,10 @@ pub enum NkvError {
     /// A PE result buffer was too short or misaligned to decode
     /// (`offset..offset+need` out of a `len`-byte buffer).
     ResultDecode { offset: usize, need: usize, len: usize },
+    /// A persisted structure (SST index page, manifest, data block
+    /// record) was truncated or malformed: decoding `what` needed
+    /// `need` bytes at `offset` of a `len`-byte buffer.
+    Corrupt { what: &'static str, offset: usize, need: usize, len: usize },
     /// A PE never raised DONE within the watchdog timeout and software
     /// fallback is disabled for the table.
     PeTimeout { pe: usize, watchdog_ns: u64 },
@@ -66,6 +70,9 @@ impl fmt::Display for NkvError {
                 f,
                 "PE result buffer too short: need {need} bytes at offset {offset}, have {len}"
             ),
+            NkvError::Corrupt { what, offset, need, len } => {
+                write!(f, "corrupt {what}: need {need} bytes at offset {offset}, have {len}")
+            }
             NkvError::PeTimeout { pe, watchdog_ns } => {
                 write!(f, "PE {pe} did not signal DONE within {watchdog_ns} ns")
             }

@@ -55,7 +55,13 @@
 //! This *is* the nKV model: the store understands application formats
 //! natively instead of wrapping them in opaque blobs.
 
+// Panic-free decode discipline: non-test store code must surface typed
+// `NkvError`s instead of unwrapping (test modules are exempt — they are
+// compiled out of the non-test build this lint runs on).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod cluster;
+pub mod cost;
 pub mod db;
 pub mod engine;
 pub mod error;
@@ -75,13 +81,14 @@ pub use cluster::{
     ClusterRunReport, ClusterScan, ClusterStats, HealthFsmConfig, NkvCluster, ReadPolicy,
     ShardHealth, ShardState, ShardStatsRow, ShardStrategy,
 };
+pub use cost::{AdaptState, CostInputs, CostReport, OpClass, TierCost, PROMOTE_AFTER};
 pub use db::{HealthReport, MultiGetResults, NkvDb, ScanSummary, TableConfig};
 pub use engine::ParallelScanStats;
 pub use error::{NkvError, NkvResult};
 pub use exec::{ExecMode, HealthCounters, ResilienceConfig, SimReport};
 pub use metrics::{Breakdown, DeviceStats, LatencyHistogram, MetricsRegistry, OpKind, OpMetrics};
 pub use plan::{Backend, LogicalOp, PhysOp, PhysicalPlan, PlanCaps, PlanOutcome};
-pub use queue::{ClientScript, CommandRecord, QueueRunConfig, QueueRunReport, QueuedOp};
+pub use queue::{ClientScript, CommandRecord, Priority, QueueRunConfig, QueueRunReport, QueuedOp};
 
 /// Build an aggregation accumulator for a table's processor (thin
 /// re-export so `exec` and `db` share one constructor).

@@ -251,7 +251,17 @@ impl LsmTree {
                 }
             }
             if in_current >= max_records_per_sst {
-                let (meta, t) = builder.take().unwrap().finish(flash, alloc, read_done)?;
+                // `in_current > 0` implies a builder was just inserted
+                // above; losing it here is an internal invariant break,
+                // surfaced as a typed error rather than a panic mid-
+                // compaction.
+                let b = builder.take().ok_or_else(|| {
+                    NkvError::Config(format!(
+                        "compaction of `{}` L{level} lost its SST builder mid-merge",
+                        self.table
+                    ))
+                })?;
+                let (meta, t) = b.finish(flash, alloc, read_done)?;
                 done = done.max(t);
                 out_ssts.push(meta);
                 in_current = 0;
@@ -449,7 +459,7 @@ fn load_entries(
         };
         done = done.max(t);
         for chunk in data.chunks_exact(sst.record_bytes) {
-            let key = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+            let key = crate::util::le_u64(chunk, 0, "SST record key during merge")?;
             recs.push((key, Some(chunk.to_vec())));
         }
     }
@@ -521,7 +531,7 @@ mod tests {
             }
             if let Some(bi) = sst.block_for(key) {
                 let (_, data) = read_block(&mut fx.flash, &sst, bi, 0).unwrap();
-                if let Some(r) = search_block(&data, REC, key) {
+                if let Some(r) = search_block(&data, REC, key).unwrap() {
                     return Some(r.to_vec());
                 }
             }
@@ -628,6 +638,33 @@ mod tests {
         fx.lsm.compact(&mut fx.flash, &mut fx.alloc, 1, 0).unwrap();
         assert_eq!(get(&mut fx, 6), None);
         assert_eq!(fx.lsm.persistent_records(), 0);
+    }
+
+    #[test]
+    fn compaction_splits_oversized_merges_without_losing_the_builder() {
+        // Regression for the split point in `compact`: it used to
+        // `unwrap()` the SST builder when an output run crossed the
+        // per-SST record cap (now a typed invariant error). Drive a
+        // merge across several split boundaries and verify the
+        // multi-SST output serves every record.
+        let mut fx = fixture();
+        // 64-byte blocks -> 3 records per block -> 192 records per
+        // output SST, so 500 records split into three SSTs.
+        let cfg = LsmConfig { memtable_bytes: 16 * 1024, block_bytes: 64, ..LsmConfig::default() };
+        fx.lsm = LsmTree::new("t", REC, cfg, 7);
+        for k in 1..=500u64 {
+            fx.lsm.put(k, rec(k, 1));
+        }
+        fx.lsm.flush(&mut fx.flash, &mut fx.alloc, 0).unwrap();
+        fx.lsm.compact(&mut fx.flash, &mut fx.alloc, 0, 0).unwrap();
+        assert!(
+            fx.lsm.level_sizes()[1] >= 3,
+            "merge must split into multiple SSTs: {:?}",
+            fx.lsm.level_sizes()
+        );
+        for k in [1u64, 192, 193, 384, 385, 500] {
+            assert_eq!(get(&mut fx, k), Some(rec(k, 1)), "key {k}");
+        }
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl From<ExecMode> for Backend {
 }
 
 impl Backend {
-    fn name(self) -> &'static str {
+    /// Stable display name (EXPLAIN renderings and cost reports).
+    pub fn name(self) -> &'static str {
         match self {
             Backend::Software => "software",
             Backend::Hardware => "hardware",
@@ -393,6 +394,19 @@ pub enum PlanOutcome {
     /// surfaces as that slot's typed error while the rest of the batch
     /// completes.
     Batch { results: Vec<NkvResult<Option<Vec<u8>>>>, report: crate::exec::SimReport },
+}
+
+impl PlanOutcome {
+    /// The simulation report, whatever shape the outcome took (the
+    /// adaptive planner reads `sim_ns` off it for latency feedback).
+    pub fn report(&self) -> &crate::exec::SimReport {
+        match self {
+            PlanOutcome::Records { report, .. }
+            | PlanOutcome::Aggregate { report, .. }
+            | PlanOutcome::Point { report, .. }
+            | PlanOutcome::Batch { report, .. } => report,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -46,10 +46,51 @@ pub enum QueuedOp {
     Put { record: Vec<u8> },
 }
 
+/// Scheduling class of one client's commands (QoS). Dispatch is a
+/// deterministic min-heap on `(submit_ns, priority rank, client, seq)`:
+/// among commands ready at the same instant, a higher class is expanded
+/// onto the device timelines first, so latency-sensitive GETs overtake
+/// bulk analytics scans *at dispatch* while per-client FIFO order (the
+/// class is per client) and seeded determinism are untouched. A run
+/// whose clients are all [`Priority::Normal`] orders exactly like the
+/// pre-QoS engine, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground work (point lookups).
+    High,
+    /// The default class; alone, it reproduces the legacy FIFO order.
+    #[default]
+    Normal,
+    /// Background/bulk analytics that may yield to the other classes.
+    Bulk,
+}
+
+impl Priority {
+    /// Heap rank: lower dispatches first at equal submit times.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Render name (bench tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
 /// The ordered command list one client will issue.
 #[derive(Debug, Clone, Default)]
 pub struct ClientScript {
     pub ops: Vec<QueuedOp>,
+    /// QoS class applied to every command of this client.
+    pub priority: Priority,
 }
 
 /// Parameters of one queued run.
@@ -160,13 +201,10 @@ impl NkvDb {
         if cfg.batch == 0 {
             return Err(NkvError::Config("queue run batch must be at least 1".into()));
         }
-        if cfg.batch as usize > cosmos_sim::KeyListDescriptor::MAX_KEYS {
-            return Err(NkvError::Config(format!(
-                "queue run batch of {} exceeds the key-list descriptor capacity of {}",
-                cfg.batch,
-                cosmos_sim::KeyListDescriptor::MAX_KEYS
-            )));
-        }
+        // A batch larger than one key-list DMA page is legal: the fold
+        // clamps each descriptor at the page capacity and the heap's
+        // adjacency rule starts the next descriptor where the previous
+        // one stopped, byte-identically (see `batch_fold_splits_...`).
         if !self.tables.contains_key(table) {
             return Err(NkvError::UnknownTable(table.into()));
         }
@@ -195,21 +233,25 @@ impl NkvDb {
         cfg: &QueueRunConfig,
     ) -> NkvResult<QueueRunReport> {
         let started = self.clock;
-        // Commands ready to submit: min-heap on (submit time, client,
-        // seq) — deterministic dispatch, earliest first.
-        let mut ready: BinaryHeap<Reverse<(SimNs, u32, u32)>> = BinaryHeap::new();
+        // Commands ready to submit: min-heap on (submit time, priority
+        // rank, client, seq) — deterministic dispatch, earliest first;
+        // at equal times the QoS class breaks the tie, then client and
+        // seq keep the order total. All-Normal scripts reduce the key
+        // to the legacy (time, client, seq) order.
+        let mut ready: BinaryHeap<Reverse<(SimNs, u8, u32, u32)>> = BinaryHeap::new();
         let mut next_seq: Vec<usize> = Vec::with_capacity(scripts.len());
+        let rank: Vec<u8> = scripts.iter().map(|s| s.priority.rank()).collect();
         for (c, s) in scripts.iter().enumerate() {
             let window = (cfg.depth as usize).min(s.ops.len());
             for i in 0..window {
-                ready.push(Reverse((started, c as u32, i as u32)));
+                ready.push(Reverse((started, rank[c], c as u32, i as u32)));
             }
             next_seq.push(window);
         }
         let mut completions = Vec::new();
         let mut latency = LatencyHistogram::new();
         let mut cid: u16 = 0;
-        while let Some(Reverse((at, client, seq))) = ready.pop() {
+        while let Some(Reverse((at, prio, client, seq))) = ready.pop() {
             // Auto-batching: fold the client's *adjacent* ready GETs —
             // consecutive seqs, same submit time, distinct keys — into
             // one batched-GET physical op. With `batch == 1` this whole
@@ -221,14 +263,19 @@ impl NkvDb {
                 if let QueuedOp::Get { key } = scripts[client as usize].ops[seq as usize] {
                     let mut seqs = vec![seq];
                     let mut keys = vec![key];
-                    while keys.len() < cfg.batch as usize {
-                        let expect = (at, client, seqs.last().unwrap() + 1);
+                    // One descriptor never exceeds its DMA page; a
+                    // larger `cfg.batch` splits into several folds.
+                    let fold_cap =
+                        (cfg.batch as usize).min(cosmos_sim::KeyListDescriptor::MAX_KEYS);
+                    while keys.len() < fold_cap {
+                        let Some(&last_seq) = seqs.last() else { break };
+                        let expect = (at, prio, client, last_seq + 1);
                         match ready.peek() {
                             Some(Reverse(e)) if *e == expect => {}
                             _ => break,
                         }
                         let QueuedOp::Get { key: k } =
-                            scripts[client as usize].ops[expect.2 as usize]
+                            scripts[client as usize].ops[expect.3 as usize]
                         else {
                             break;
                         };
@@ -236,7 +283,7 @@ impl NkvDb {
                             break;
                         }
                         ready.pop();
-                        seqs.push(expect.2);
+                        seqs.push(expect.3);
                         keys.push(k);
                     }
                     if keys.len() > 1 {
@@ -284,7 +331,12 @@ impl NkvDb {
                         let c = client as usize;
                         for _ in 0..n {
                             if next_seq[c] < scripts[c].ops.len() {
-                                ready.push(Reverse((batch_complete, client, next_seq[c] as u32)));
+                                ready.push(Reverse((
+                                    batch_complete,
+                                    prio,
+                                    client,
+                                    next_seq[c] as u32,
+                                )));
                                 next_seq[c] += 1;
                             }
                         }
@@ -318,7 +370,7 @@ impl NkvDb {
             });
             let c = client as usize;
             if next_seq[c] < scripts[c].ops.len() {
-                ready.push(Reverse((complete, client, next_seq[c] as u32)));
+                ready.push(Reverse((complete, prio, client, next_seq[c] as u32)));
                 next_seq[c] += 1;
             }
         }
@@ -405,12 +457,13 @@ mod tests {
         db.create_table("t", crate::db::TableConfig::new(test_pe())).unwrap();
         let zero = QueueRunConfig { batch: 0, ..QueueRunConfig::default() };
         assert!(matches!(db.run_queued("t", &[], &zero), Err(NkvError::Config(_))));
-        // One past the key-list descriptor's single-DMA-page capacity.
-        let over = QueueRunConfig { batch: 511, ..QueueRunConfig::default() };
-        assert!(matches!(db.run_queued("t", &[], &over), Err(NkvError::Config(_))));
         let max = QueueRunConfig { batch: 510, ..QueueRunConfig::default() };
         assert!(max.batch as usize == cosmos_sim::KeyListDescriptor::MAX_KEYS);
         assert!(db.run_queued("t", &[], &max).is_ok());
+        // Past the key-list descriptor's single-DMA-page capacity is
+        // legal now: the fold splits into multiple descriptors.
+        let over = QueueRunConfig { batch: 511, ..QueueRunConfig::default() };
+        assert!(db.run_queued("t", &[], &over).is_ok());
     }
 
     #[test]

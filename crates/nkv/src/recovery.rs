@@ -99,48 +99,65 @@ pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
 /// Parse a serialized manifest.
 pub fn decode_manifest(bytes: &[u8]) -> NkvResult<Manifest> {
     let fail = || NkvError::Config("corrupt manifest".into());
-    let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> NkvResult<&[u8]> {
-        if *pos + n > bytes.len() {
-            return Err(fail());
-        }
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
+        let end = pos.checked_add(n).filter(|&e| e <= bytes.len()).ok_or_else(fail)?;
+        let s = &bytes[*pos..end];
+        *pos = end;
         Ok(s)
     };
+    let u16_at = |pos: &mut usize| -> NkvResult<u16> {
+        let v = crate::util::le_u16(bytes, *pos, "manifest field")?;
+        *pos += 2;
+        Ok(v)
+    };
+    let u32_at = |pos: &mut usize| -> NkvResult<u32> {
+        let v = crate::util::le_u32(bytes, *pos, "manifest field")?;
+        *pos += 4;
+        Ok(v)
+    };
+    let mut pos = 0usize;
     if take(&mut pos, 4)? != b"NKVM" {
         return Err(fail());
     }
-    let u16_at = |s: &[u8]| u16::from_le_bytes(s.try_into().unwrap());
-    let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
-    let version = u32_at(take(&mut pos, 4)?);
+    let version = u32_at(&mut pos)?;
     // Version 1 manifests predate epochs (single-slot layout).
-    let epoch =
-        if version >= 2 { u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) } else { 0 };
-    let n_tables = u32_at(take(&mut pos, 4)?) as usize;
+    let epoch = if version >= 2 {
+        let e = crate::util::le_u64(bytes, pos, "manifest epoch")?;
+        pos += 8;
+        e
+    } else {
+        0
+    };
+    let n_tables = u32_at(&mut pos)? as usize;
+    if n_tables > bytes.len() {
+        return Err(fail());
+    }
     let mut tables = Vec::with_capacity(n_tables);
     for _ in 0..n_tables {
-        let name_len = u16_at(take(&mut pos, 2)?) as usize;
+        let name_len = u16_at(&mut pos)? as usize;
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).map_err(|_| fail())?;
-        let record_bytes = u32_at(take(&mut pos, 4)?);
+        let record_bytes = u32_at(&mut pos)?;
         let unique_keys = take(&mut pos, 1)?[0] != 0;
-        let n_ssts = u32_at(take(&mut pos, 4)?) as usize;
+        let n_ssts = u32_at(&mut pos)? as usize;
+        if n_ssts > bytes.len() {
+            return Err(fail());
+        }
         let mut ssts = Vec::with_capacity(n_ssts);
         for _ in 0..n_ssts {
-            let level = u32_at(take(&mut pos, 4)?);
-            let n_pages = u16_at(take(&mut pos, 2)?) as usize;
+            let level = u32_at(&mut pos)?;
+            let n_pages = u16_at(&mut pos)? as usize;
             let mut pages = Vec::with_capacity(n_pages);
             for _ in 0..n_pages {
-                let channel = u16_at(take(&mut pos, 2)?);
-                let lun = u16_at(take(&mut pos, 2)?);
-                let page = u32_at(take(&mut pos, 4)?);
+                let channel = u16_at(&mut pos)?;
+                let lun = u16_at(&mut pos)?;
+                let page = u32_at(&mut pos)?;
                 pages.push(PhysAddr { channel, lun, page });
             }
             ssts.push((level, pages));
         }
         tables.push(TableManifest { name, record_bytes, ssts, unique_keys });
     }
-    let crc_stored = u32_at(take(&mut pos, 4)?);
+    let crc_stored = u32_at(&mut pos)?;
     if crc32c(&bytes[..pos - 4]) != crc_stored {
         return Err(fail());
     }
@@ -219,8 +236,8 @@ fn decode_manifest_prefix(bytes: &[u8]) -> NkvResult<Manifest> {
     // (Manifests are tiny — tens of bytes per table — so this is cheap.)
     for len in (8..=bytes.len()).rev() {
         // Fast reject: CRC check only.
-        let (body, crc) = bytes[..len].split_at(len - 4);
-        if crc32c(body) == u32::from_le_bytes(crc.try_into().unwrap()) {
+        let body = &bytes[..len - 4];
+        if crc32c(body) == crate::util::le_u32(bytes, len - 4, "manifest CRC")? {
             return decode_manifest(&bytes[..len]);
         }
     }
@@ -254,8 +271,8 @@ pub fn recover_table_ssts(
 
 fn recover_index_prefix(bytes: &[u8]) -> NkvResult<SstMeta> {
     for len in (8..=bytes.len()).rev() {
-        let (body, crc) = bytes[..len].split_at(len - 4);
-        if crc32c(body) == u32::from_le_bytes(crc.try_into().unwrap()) {
+        let body = &bytes[..len - 4];
+        if crc32c(body) == crate::util::le_u32(bytes, len - 4, "index block CRC")? {
             return deserialize_index(&bytes[..len]);
         }
     }

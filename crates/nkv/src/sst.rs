@@ -277,20 +277,32 @@ pub fn read_block(
 }
 
 /// Binary-search a data block for `key`; returns the record bytes.
-pub fn search_block(data: &[u8], record_bytes: usize, key: u64) -> Option<&[u8]> {
+///
+/// Records shorter than their 8-byte key prefix (or a payload that does
+/// not hold whole records) are corruption, not a caller bug — reported
+/// as a typed error instead of panicking on the short slice.
+pub fn search_block(data: &[u8], record_bytes: usize, key: u64) -> NkvResult<Option<&[u8]>> {
+    if record_bytes < 8 {
+        return Err(NkvError::Corrupt {
+            what: "data block record (shorter than its u64 key)",
+            offset: 0,
+            need: 8,
+            len: record_bytes,
+        });
+    }
     let n = data.len() / record_bytes;
     let (mut lo, mut hi) = (0usize, n);
     while lo < hi {
         let mid = (lo + hi) / 2;
         let off = mid * record_bytes;
-        let k = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+        let k = crate::util::le_u64(data, off, "data block record key")?;
         match k.cmp(&key) {
             std::cmp::Ordering::Less => lo = mid + 1,
             std::cmp::Ordering::Greater => hi = mid,
-            std::cmp::Ordering::Equal => return Some(&data[off..off + record_bytes]),
+            std::cmp::Ordering::Equal => return Ok(Some(&data[off..off + record_bytes])),
         }
     }
-    None
+    Ok(None)
 }
 
 /// Serialize the index block (manual little-endian layout; the format is
@@ -339,64 +351,96 @@ pub fn serialize_index(meta: &SstMeta) -> Vec<u8> {
 /// the in-memory one — this is what device recovery rebuilds from
 /// (see `nkv::recovery`).
 pub fn deserialize_index(bytes: &[u8]) -> NkvResult<SstMeta> {
-    // A tiny cursor helper; corruption is reported as CorruptBlock.
-    let fail = || NkvError::CorruptBlock { sst_id: 0, block: usize::MAX };
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> NkvResult<&[u8]> {
-        if *pos + n > bytes.len() {
-            return Err(fail());
-        }
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
+    // A tiny cursor: every truncated or malformed field is reported as
+    // a typed `NkvError::Corrupt` naming the field, never a panic.
+    let corrupt = |what: &'static str, offset: usize, need: usize| NkvError::Corrupt {
+        what,
+        offset,
+        need,
+        len: bytes.len(),
     };
-    if take(&mut pos, 4)? != b"NKVS" {
-        return Err(fail());
+    let u16_at = |pos: &mut usize, what| -> NkvResult<u16> {
+        let v = crate::util::le_u16(bytes, *pos, what)?;
+        *pos += 2;
+        Ok(v)
+    };
+    let u32_at = |pos: &mut usize, what| -> NkvResult<u32> {
+        let v = crate::util::le_u32(bytes, *pos, what)?;
+        *pos += 4;
+        Ok(v)
+    };
+    let u64_at = |pos: &mut usize, what| -> NkvResult<u64> {
+        let v = crate::util::le_u64(bytes, *pos, what)?;
+        *pos += 8;
+        Ok(v)
+    };
+    if bytes.get(..4) != Some(&b"NKVS"[..]) {
+        return Err(corrupt("SST index magic", 0, 4));
     }
-    let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
-    let u64_at = |s: &[u8]| u64::from_le_bytes(s.try_into().unwrap());
-    let _version = u32_at(take(&mut pos, 4)?);
-    let id = u64_at(take(&mut pos, 8)?);
-    let level = u32_at(take(&mut pos, 4)?) as usize;
-    let record_bytes = u32_at(take(&mut pos, 4)?) as usize;
-    let n_records = u64_at(take(&mut pos, 8)?);
-    let min_key = u64_at(take(&mut pos, 8)?);
-    let max_key = u64_at(take(&mut pos, 8)?);
-    let n_blocks = u32_at(take(&mut pos, 4)?) as usize;
-    let n_tomb = u32_at(take(&mut pos, 4)?) as usize;
-    let bloom_words = u32_at(take(&mut pos, 4)?) as usize;
-    let bloom_bits = u64_at(take(&mut pos, 8)?);
-    let bloom_k = u32_at(take(&mut pos, 4)?);
+    let mut pos = 4usize;
+    let _version = u32_at(&mut pos, "SST index version")?;
+    let id = u64_at(&mut pos, "SST index id")?;
+    let level = u32_at(&mut pos, "SST index level")? as usize;
+    let record_bytes = u32_at(&mut pos, "SST index record size")? as usize;
+    let n_records = u64_at(&mut pos, "SST index record count")?;
+    let min_key = u64_at(&mut pos, "SST index min key")?;
+    let max_key = u64_at(&mut pos, "SST index max key")?;
+    let n_blocks = u32_at(&mut pos, "SST index block count")? as usize;
+    let n_tomb = u32_at(&mut pos, "SST index tombstone count")? as usize;
+    let bloom_words = u32_at(&mut pos, "SST index bloom word count")? as usize;
+    let bloom_bits = u64_at(&mut pos, "SST index bloom bits")?;
+    let bloom_k = u32_at(&mut pos, "SST index bloom probes")?;
+    if record_bytes < 8 {
+        return Err(corrupt("SST index record size (below the 8-byte key)", pos, 8));
+    }
+    // Counts come from untrusted bytes: bound them by what the buffer
+    // could possibly hold before reserving memory for them.
+    let remaining = bytes.len().saturating_sub(pos);
+    if n_blocks > remaining / 28 {
+        return Err(corrupt("SST index block table", pos, n_blocks.saturating_mul(28)));
+    }
     let mut blocks = Vec::with_capacity(n_blocks);
     for _ in 0..n_blocks {
-        let first_key = u64_at(take(&mut pos, 8)?);
-        let last_key = u64_at(take(&mut pos, 8)?);
-        let bytes_len = u32_at(take(&mut pos, 4)?);
-        let crc = u32_at(take(&mut pos, 4)?);
-        let n_pages = u32_at(take(&mut pos, 4)?) as usize;
+        let first_key = u64_at(&mut pos, "SST block first key")?;
+        let last_key = u64_at(&mut pos, "SST block last key")?;
+        let bytes_len = u32_at(&mut pos, "SST block payload size")?;
+        let crc = u32_at(&mut pos, "SST block CRC")?;
+        let n_pages = u32_at(&mut pos, "SST block page count")? as usize;
+        let page_room = bytes.len().saturating_sub(pos);
+        if n_pages > page_room / 8 {
+            return Err(corrupt("SST block page list", pos, n_pages.saturating_mul(8)));
+        }
         let mut pages = Vec::with_capacity(n_pages);
         for _ in 0..n_pages {
-            let channel = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
-            let lun = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
-            let page = u32_at(take(&mut pos, 4)?);
+            let channel = u16_at(&mut pos, "SST page channel")?;
+            let lun = u16_at(&mut pos, "SST page LUN")?;
+            let page = u32_at(&mut pos, "SST page number")?;
             pages.push(PhysAddr { channel, lun, page });
         }
         blocks.push(BlockMeta { first_key, last_key, pages, bytes: bytes_len, crc });
     }
+    let tomb_room = bytes.len().saturating_sub(pos);
+    if n_tomb > tomb_room / 8 {
+        return Err(corrupt("SST tombstone list", pos, n_tomb.saturating_mul(8)));
+    }
     let mut tombstones = Vec::with_capacity(n_tomb);
     for _ in 0..n_tomb {
-        tombstones.push(u64_at(take(&mut pos, 8)?));
+        tombstones.push(u64_at(&mut pos, "SST tombstone key")?);
+    }
+    let bloom_room = bytes.len().saturating_sub(pos);
+    if bloom_words > bloom_room / 8 {
+        return Err(corrupt("SST bloom words", pos, bloom_words.saturating_mul(8)));
     }
     let mut words = Vec::with_capacity(bloom_words);
     for _ in 0..bloom_words {
-        words.push(u64_at(take(&mut pos, 8)?));
+        words.push(u64_at(&mut pos, "SST bloom word")?);
     }
-    let crc_stored = u32_at(take(&mut pos, 4)?);
+    let crc_stored = u32_at(&mut pos, "SST index CRC trailer")?;
     if crc32c(&bytes[..pos - 4]) != crc_stored {
-        return Err(fail());
+        return Err(corrupt("SST index CRC trailer (mismatch)", pos - 4, 4));
     }
     if words.len() as u64 * 64 != bloom_bits || bloom_k == 0 || bloom_k > 12 {
-        return Err(fail());
+        return Err(corrupt("SST bloom geometry", pos, 0));
     }
     let bloom = Bloom::from_parts(words, bloom_bits, bloom_k);
     Ok(SstMeta {
@@ -466,9 +510,18 @@ mod tests {
         let (_, data) = read_block(&mut flash, &meta, 1, 0).unwrap();
         assert_eq!(data.len() as u32, meta.blocks[1].bytes);
         let key = meta.blocks[1].first_key + 2 * 2; // second record in block
-        let rec = search_block(&data, 20, key).unwrap();
+        let rec = search_block(&data, 20, key).unwrap().unwrap();
         assert_eq!(rec, &record(key, 20)[..]);
-        assert!(search_block(&data, 20, key + 1).is_none());
+        assert!(search_block(&data, 20, key + 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn search_block_reports_short_records_as_corruption() {
+        let data = vec![0u8; 32];
+        assert!(matches!(
+            search_block(&data, 4, 1),
+            Err(NkvError::Corrupt { need: 8, len: 4, .. })
+        ));
     }
 
     #[test]
@@ -547,6 +600,38 @@ mod tests {
         assert!(deserialize_index(&bytes).is_err());
         assert!(deserialize_index(b"JUNK").is_err());
         assert!(deserialize_index(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_index_pages_fail_typed_at_every_length() {
+        // Fuzz corpus for the decode path: every proper prefix of a
+        // valid index must come back as a typed error — never a panic,
+        // never Ok (the CRC trailer is inside the truncated tail).
+        let (_, meta) = build(5000, 20);
+        let bytes = serialize_index(&meta);
+        for cut in 0..bytes.len() {
+            match deserialize_index(&bytes[..cut]) {
+                Err(NkvError::Corrupt { .. } | NkvError::CorruptBlock { .. }) => {}
+                other => panic!("prefix of {cut} bytes decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_index_headers_never_panic() {
+        // Byte-level mutation sweep over the header region: decoding
+        // must either reject the page or round-trip to *some* metadata,
+        // but it must never panic or over-allocate on hostile counts.
+        let (_, meta) = build(100, 20);
+        let bytes = serialize_index(&meta);
+        let header = bytes.len().min(64);
+        for off in 0..header {
+            for flip in [0x01u8, 0xFF] {
+                let mut corrupted = bytes.clone();
+                corrupted[off] ^= flip;
+                let _ = deserialize_index(&corrupted);
+            }
+        }
     }
 
     #[test]

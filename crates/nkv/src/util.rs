@@ -4,6 +4,33 @@
 //! because their exact behaviour is part of the on-flash format this
 //! repository defines (see DESIGN.md's dependency policy).
 
+use crate::error::{NkvError, NkvResult};
+
+/// Decode `N` little-endian bytes at `offset`, reporting truncation as a
+/// typed [`NkvError::Corrupt`] naming the structure being decoded.
+fn le_bytes<const N: usize>(bytes: &[u8], offset: usize, what: &'static str) -> NkvResult<[u8; N]> {
+    offset
+        .checked_add(N)
+        .and_then(|end| bytes.get(offset..end))
+        .and_then(|s| s.try_into().ok())
+        .ok_or(NkvError::Corrupt { what, offset, need: N, len: bytes.len() })
+}
+
+/// Decode a little-endian `u16` at `offset` with a typed error.
+pub(crate) fn le_u16(bytes: &[u8], offset: usize, what: &'static str) -> NkvResult<u16> {
+    le_bytes::<2>(bytes, offset, what).map(u16::from_le_bytes)
+}
+
+/// Decode a little-endian `u32` at `offset` with a typed error.
+pub(crate) fn le_u32(bytes: &[u8], offset: usize, what: &'static str) -> NkvResult<u32> {
+    le_bytes::<4>(bytes, offset, what).map(u32::from_le_bytes)
+}
+
+/// Decode a little-endian `u64` at `offset` with a typed error.
+pub(crate) fn le_u64(bytes: &[u8], offset: usize, what: &'static str) -> NkvResult<u64> {
+    le_bytes::<8>(bytes, offset, what).map(u64::from_le_bytes)
+}
+
 /// CRC-32C (Castagnoli), table-driven, as used by RocksDB block footers.
 pub fn crc32c(data: &[u8]) -> u32 {
     const POLY: u32 = 0x82F6_3B78; // reflected 0x1EDC6F41

@@ -20,7 +20,7 @@
 
 use ndp_workload::spec::{paper_lanes, PAPER_PE, PAPER_REF_SPEC};
 use ndp_workload::{PaperGen, PubGraphConfig, SplitMix64};
-use nkv::{ClientScript, ExecMode, NkvDb, QueueRunConfig, QueuedOp, TableConfig};
+use nkv::{ClientScript, ExecMode, NkvDb, Priority, QueueRunConfig, QueuedOp, TableConfig};
 
 const TABLE: &str = "papers";
 /// ~1 MB of records → a whole-table SCAN streams ~30 blocks (several
@@ -105,8 +105,10 @@ fn depth_one_single_client_equals_the_serial_path() {
     }
 
     // Queued: the same keys as one client's script at depth 1.
-    let scripts =
-        vec![ClientScript { ops: keys.iter().map(|&key| QueuedOp::Get { key }).collect() }];
+    let scripts = vec![ClientScript {
+        ops: keys.iter().map(|&key| QueuedOp::Get { key }).collect(),
+        ..Default::default()
+    }];
     let report = queued_db
         .run_queued(TABLE, &scripts, &QueueRunConfig { depth: 1, ..Default::default() })
         .expect("queued run");
@@ -146,8 +148,12 @@ fn memtable_puts_overtake_a_streaming_scan() {
                     value: 0,
                 }],
             }],
+            ..Default::default()
         },
-        ClientScript { ops: (0..6).map(|_| QueuedOp::Put { record: rec.clone() }).collect() },
+        ClientScript {
+            ops: (0..6).map(|_| QueuedOp::Put { record: rec.clone() }).collect(),
+            ..Default::default()
+        },
     ];
     let report = db
         .run_queued(TABLE, &scripts, &QueueRunConfig { depth: 1, ..Default::default() })
@@ -353,7 +359,7 @@ fn fold_stops_cleanly_at_every_window_and_script_boundary() {
         let run = |b: u32| {
             let (mut db, _) = make_db();
             let scripts: Vec<ClientScript> =
-                ops.iter().map(|o| ClientScript { ops: o.clone() }).collect();
+                ops.iter().map(|o| ClientScript { ops: o.clone(), ..Default::default() }).collect();
             db.run_queued(
                 TABLE,
                 &scripts,
@@ -372,4 +378,129 @@ fn fold_stops_cleanly_at_every_window_and_script_boundary() {
         };
         assert_eq!(project(&b), project(&base), "{name}: bytes diverged");
     }
+}
+
+/// A fold wider than the key-list descriptor's 510-key capacity must
+/// split into multiple descriptors instead of being rejected (or
+/// overflowing the DMA region), and the split must be invisible in the
+/// result bytes. 600 adjacent GETs at `batch = 600` fold into one
+/// 510-key descriptor plus one 90-key remainder — distinguishable by
+/// their SQE-burst fetch times — and match the batch-1 run exactly.
+#[test]
+fn oversized_folds_split_into_capacity_sized_descriptors() {
+    let n_keys = 600u32;
+    let run = |batch: u32| {
+        let (mut db, cfg) = make_db();
+        let step = cfg.papers / u64::from(n_keys);
+        let scripts = vec![ClientScript {
+            ops: (0..n_keys)
+                .map(|i| QueuedOp::Get { key: PaperGen::paper_at(&cfg, u64::from(i) * step).id })
+                .collect(),
+            ..Default::default()
+        }];
+        db.run_queued(
+            TABLE,
+            &scripts,
+            &QueueRunConfig { depth: n_keys, batch, ..Default::default() },
+        )
+        .expect("oversized batch run")
+    };
+    let base = run(1);
+    let split = run(n_keys);
+    assert_eq!(split.ops(), u64::from(n_keys));
+    assert_eq!(split.ops(), base.ops());
+
+    let project = |r: &nkv::QueueRunReport| {
+        let mut v: Vec<_> =
+            r.completions.iter().map(|c| (c.client, c.seq, c.payload.clone())).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(project(&split), project(&base), "splitting changed result bytes");
+
+    // Descriptors share one fetch time; the capacity clamp must yield
+    // exactly ceil(600 / 510) = 2 of them, the first full.
+    let mut groups: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for r in &split.completions {
+        *groups.entry(r.fetch_ns).or_default() += 1;
+    }
+    let sizes: Vec<usize> = groups.values().copied().collect();
+    assert_eq!(
+        sizes,
+        vec![
+            cosmos_sim::KeyListDescriptor::MAX_KEYS,
+            600 - cosmos_sim::KeyListDescriptor::MAX_KEYS
+        ],
+        "600 adjacent GETs must split at the 510-key descriptor capacity"
+    );
+}
+
+/// The QoS scheduler's contract: a latency-sensitive client marked
+/// [`Priority::High`] overtakes bulk scan floods at every dispatch tie,
+/// without changing a single result byte — priority is a scheduling
+/// transform, exactly like batching.
+///
+/// Three `Bulk` clients flood the device with whole-table scans while
+/// the last client issues a handful of point GETs. Under the default
+/// all-`Normal` run the dispatch tie at t=0 breaks by client id, so the
+/// GETs queue behind nine scans' flash reservations; under QoS they
+/// dispatch first. Worst-case GET latency (p99 of a 4-op client) must
+/// improve by a wide margin, and both runs must stay deterministic.
+#[test]
+fn high_priority_gets_overtake_bulk_scan_floods() {
+    let scan = || QueuedOp::Scan {
+        rules: vec![ndp_pe::oracle::FilterRule { lane: paper_lanes::YEAR, op_code: 4, value: 0 }],
+    };
+    let run = |qos: bool| {
+        let (mut db, cfg) = make_db();
+        let mut scripts: Vec<ClientScript> = (0..3)
+            .map(|_| ClientScript {
+                ops: vec![scan(), scan(), scan()],
+                priority: if qos { Priority::Bulk } else { Priority::Normal },
+            })
+            .collect();
+        let step = cfg.papers / 4;
+        scripts.push(ClientScript {
+            ops: (0..4)
+                .map(|i| QueuedOp::Get { key: PaperGen::paper_at(&cfg, i * step).id })
+                .collect(),
+            priority: if qos { Priority::High } else { Priority::Normal },
+        });
+        db.run_queued(TABLE, &scripts, &QueueRunConfig { depth: 4, ..Default::default() })
+            .expect("qos run")
+    };
+    let fifo = run(false);
+    let qos = run(true);
+    assert_eq!(run(true), qos, "QoS runs must be reproducible");
+
+    // Scheduling only: the merged result bytes are unchanged.
+    let project = |r: &nkv::QueueRunReport| {
+        let mut v: Vec<_> =
+            r.completions.iter().map(|c| (c.client, c.seq, c.payload.clone())).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(project(&qos), project(&fifo), "priorities changed result bytes");
+
+    let worst_get = |r: &nkv::QueueRunReport| {
+        r.completions
+            .iter()
+            .filter(|c| c.client == 3)
+            .map(|c| c.complete_ns - c.submit_ns)
+            .max()
+            .expect("GET client completed")
+    };
+    let (fifo_p99, qos_p99) = (worst_get(&fifo), worst_get(&qos));
+    assert!(
+        qos_p99 * 2 < fifo_p99,
+        "high-priority GETs should at least halve their worst-case latency \
+         under a scan flood: fifo {fifo_p99} ns vs qos {qos_p99} ns"
+    );
+    // Within the High client, per-client FIFO order still holds at the
+    // dispatch tie: its GETs fetch in seq order.
+    let mut fetches: Vec<(u64, u32)> =
+        qos.completions.iter().filter(|c| c.client == 3).map(|c| (c.fetch_ns, c.seq)).collect();
+    fetches.sort_unstable();
+    let seqs: Vec<u32> = fetches.iter().map(|&(_, s)| s).collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3], "per-client FIFO order must survive QoS dispatch");
 }

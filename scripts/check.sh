@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (deny warnings), the test suite
 # (including the golden-artifact snapshots and the plan-,
-# cache-equivalence, cluster-chaos and batched-GET differential
-# suites), the observability example (+ trace-JSON validity), a
-# fast-mode repro run
+# cache-equivalence, cluster-chaos, batched-GET and adaptive-planner
+# differential suites), the observability example (+ trace-JSON
+# validity), a fast-mode repro run
 # diffed against the committed reference output, a fixed-seed loadgen
 # smoke run (latency tail + parallel-PE sweep) diffed the same way, the
 # DRAM block-cache sweep gate, the cluster clients x devices scaling
@@ -61,6 +61,20 @@ echo "==> batched-GET equivalence: key-list batches match the unbatched bytes"
 # shards) must return the unbatched bytes with per-key typed errors,
 # and a batch of one must be the legacy path.
 cargo test -q --test batched_get_equivalence
+
+echo "==> adaptive planner equivalence: the cost-based tier choice never changes bytes"
+# Named gate for the adaptive planner: whatever tier the cost model
+# picks (cold or promoted, clean or under fault weather, single device
+# or sharded cluster), the returned bytes must match every forced tier.
+cargo test -q --test adaptive_equivalence
+
+echo "==> nkv hot paths carry typed errors, not unwraps"
+# The crate-level lint is the enforcement (the workspace clippy run
+# above denies warnings, so any non-test unwrap/expect in nkv fails
+# there); this named gate pins the attribute itself so it cannot be
+# silently dropped.
+grep -q 'cfg_attr(not(test), deny(clippy::unwrap_used))' crates/nkv/src/lib.rs
+cargo clippy -q -p nkv --lib -- -D warnings
 
 echo "==> profiling example + trace JSON validity"
 cargo run --release --example profiling -- target/profile_trace.json > /dev/null
@@ -125,6 +139,24 @@ sed -n '/batched-GET sweep/,$p' target/loadgen_batched.txt | awk '
         }
     }'
 
+echo "==> QoS sweep: priority dispatch beats FIFO on the high-priority GET tail"
+# Mixed-priority sweep at the fixed smoke seed: the same bulk scan
+# flood + GET workload runs FIFO (all-Normal) and prioritized; the
+# sweep's in-process assertions prove the records are identical, and
+# this gate holds the latency win — the priority GET p99 must come in
+# below the FIFO GET p99 ($1 is the mode column, $5 is get-p99(ms)).
+./target/release/repro loadgen --clients 1 --depth 1 --ops 4 --seed 42 \
+    --scale 0.00048828125 --qos > target/loadgen_qos.txt
+grep -q 'QoS sweep' target/loadgen_qos.txt
+sed -n '/QoS sweep/,$p' target/loadgen_qos.txt | awk '
+    $1 == "fifo" { fifo = $5 } $1 == "priority" { qos = $5 }
+    END {
+        if (fifo + 0 <= 0 || !(qos + 0 < fifo + 0)) {
+            print "error: priority GET p99 " qos " ms not below FIFO GET p99 " fifo " ms"
+            exit 1
+        }
+    }'
+
 echo "==> cluster scaling matrix + machine-readable bench results + merged trace"
 # Fixed-seed clients x devices matrix through the sharded cluster; the
 # same run emits target/BENCH_loadgen.json (the machine-readable
@@ -157,17 +189,18 @@ import json
 with open("target/BENCH_loadgen.json") as f:
     doc = json.load(f)
 keys = ("schema", "seed", "config", "points", "parallel_sweep", "cache_sweep",
-        "cluster_matrix", "batched_sweep")
+        "cluster_matrix", "batched_sweep", "qos_sweep")
 missing = [k for k in keys if k not in doc]
 assert not missing, f"BENCH_loadgen.json missing keys: {missing}"
-assert doc["schema"] == "nkv-bench-loadgen/3", doc["schema"]
+assert doc["schema"] == "nkv-bench-loadgen/4", doc["schema"]
 assert doc["seed"] == 42, doc["seed"]
 assert doc["cluster_matrix"], "cluster_matrix must not be empty with --devices"
 assert doc["batched_sweep"] == [], "batched_sweep must be empty without --batch"
+assert doc["qos_sweep"] == [], "qos_sweep must be empty without --qos"
 EOF
 else
     for key in schema seed config points parallel_sweep cache_sweep cluster_matrix \
-        batched_sweep; do
+        batched_sweep qos_sweep; do
         grep -q "\"$key\"" target/BENCH_loadgen.json
     done
 fi
@@ -285,14 +318,17 @@ if ./target/release/repro loadgen --devices 0 > /dev/null 2>&1; then
     exit 1
 fi
 
-echo "==> repro CLI rejects bad --batch values"
-# A batch must fit one key-list DMA page: 1 ..= 510 keys.
-for bad in 0 banana 511; do
+echo "==> repro CLI rejects bad --batch values, accepts oversized folds"
+for bad in 0 banana; do
     if ./target/release/repro loadgen --batch "$bad" > /dev/null 2>&1; then
         echo "error: --batch $bad must exit nonzero" >&2
         exit 1
     fi
 done
+# Beyond one key-list DMA page (510 keys) is legal: the queue engine
+# splits the fold into capacity-sized descriptors.
+./target/release/repro loadgen --clients 1 --depth 1 --ops 2 --seed 9 \
+    --scale 0.00048828125 --batch 511 > /dev/null
 
 echo "==> repro CLI trace/json guard rails"
 # --trace to an unwritable path fails up front (before simulation time).

@@ -287,6 +287,7 @@ fn single_device_cluster_is_byte_identical_to_a_standalone_db() {
                             _ => QueuedOp::Get { key: 1 + (c * 37 + i * 11) % 300 },
                         })
                         .collect(),
+                    ..Default::default()
                 })
                 .collect();
             for batch in [1u32, 8] {
@@ -330,6 +331,7 @@ fn batched_queued_runs_split_per_shard_and_rejoin_the_unbatched_bytes() {
                     _ => QueuedOp::Get { key: 1 + (c * 41 + i * 13) % 300 },
                 })
                 .collect(),
+            ..Default::default()
         })
         .collect();
     let run = |batch: u32| {

@@ -440,7 +440,7 @@ fn lsm_matches_btreemap_model() {
                         }
                         if let Some(bi) = sst.block_for(key) {
                             let (_, data) = read_block(&mut flash, sst, bi, 0).unwrap();
-                            if let Some(r) = search_block(&data, 16, key) {
+                            if let Some(r) = search_block(&data, 16, key).unwrap() {
                                 found = Some(r.to_vec());
                                 break;
                             }
